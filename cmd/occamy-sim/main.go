@@ -1,0 +1,139 @@
+// occamy-sim regenerates any table or figure of the paper.
+//
+// Usage:
+//
+//	occamy-sim -fig fig12                 # one experiment, quick scale
+//	occamy-sim -fig all -scale medium     # everything, medium scale
+//	occamy-sim -fig fig17 -scale paper    # §6.4 at full 128-host scale (slow)
+//
+// Scales: quick (test-sized, seconds), medium (a few minutes), paper
+// (the paper's dimensions; the leaf-spine runs take a long time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"occamy/internal/experiments"
+	"occamy/internal/sim"
+)
+
+func scales(name string) (experiments.DPDKScale, experiments.FabricScale, int) {
+	switch name {
+	case "quick":
+		return experiments.QuickDPDK(), experiments.QuickFabric(), 8
+	case "medium":
+		d := experiments.QuickDPDK()
+		d.Hosts, d.Queries = 8, 30
+		d.SizeFracs = []float64{0.2, 0.6, 1.0, 1.4}
+		d.Loads = []float64{0.1, 0.3, 0.5}
+		d.Alphas = []float64{0.5, 1, 2, 4, 8}
+		f := experiments.QuickFabric()
+		f.Queries = 25
+		f.SizeFracs = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+		f.FlowSizes = []int64{16_000, 64_000, 256_000, 1_000_000, 2_000_000}
+		f.QueryLoads = []float64{0.1, 0.2, 0.4, 0.6, 0.8}
+		f.BufferFactors = []float64{3.44, 5.12, 8.0, 9.6}
+		return d, f, 20
+	case "paper":
+		return experiments.PaperDPDK(), experiments.PaperFabric(), 60
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|medium|paper)\n", name)
+		os.Exit(2)
+	}
+	panic("unreachable")
+}
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment: table1, fig3, fig6, fig7, fig11, fig12, fig13..fig23, or all")
+	scale := flag.String("scale", "quick", "quick | medium | paper")
+	flag.Parse()
+
+	d, f, queries := scales(*scale)
+	runners := map[string]func() []*experiments.Table{
+		"table1": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Table1HardwareCost(64, 20)}
+		},
+		"fig3": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig3DTBehavior()}
+		},
+		"fig6": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig6Anomalies(queries, nil)}
+		},
+		"fig7": func() []*experiments.Table {
+			a, b := experiments.Fig7Utilization(f)
+			return []*experiments.Table{a, b}
+		},
+		"fig11": func() []*experiments.Table {
+			return experiments.Fig11QueueEvolution(25 * sim.Microsecond)
+		},
+		"fig12": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig12BurstAbsorption()}
+		},
+		"fig13": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig13SoftwareSwitch(d)}
+		},
+		"fig14": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig14Isolation(d)}
+		},
+		"fig15": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig15BufferChoking(d)}
+		},
+		"fig16": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig16AlphaImpact(d)}
+		},
+		"fig17": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig17LargeScale(f)}
+		},
+		"fig18": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig18AllToAll(f)}
+		},
+		"fig19": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig19AllReduce(f)}
+		},
+		"fig20": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig20QueryLoad(f)}
+		},
+		"fig21": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig21RoundRobinDrop(f)}
+		},
+		"fig22": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig22HeavyLoad(f)}
+		},
+		"fig23": func() []*experiments.Table {
+			return []*experiments.Table{experiments.Fig23BufferSize(f)}
+		},
+		"extras": func() []*experiments.Table {
+			return []*experiments.Table{experiments.ExtrasBakeoff(d)}
+		},
+	}
+
+	var names []string
+	if *fig == "all" {
+		for k := range runners {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+	} else if _, ok := runners[*fig]; ok {
+		names = []string{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *fig)
+		os.Exit(2)
+	}
+
+	for _, n := range names {
+		start := time.Now()
+		for _, tab := range runners[n]() {
+			tab.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		if n == "fig11" {
+			// The queue-evolution figure is a plot; render it as one.
+			fmt.Println(experiments.Fig11Sparklines(5*sim.Microsecond, 72))
+		}
+		fmt.Printf("(%s took %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

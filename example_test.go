@@ -1,0 +1,53 @@
+package occamy_test
+
+import (
+	"fmt"
+
+	"occamy"
+)
+
+// ExampleDTReservedFraction reproduces the §4.4 arithmetic: DT with one
+// congested queue reserves B/(1+α) of the buffer, so α=8 wastes only a
+// ninth where α=1 wastes half.
+func ExampleDTReservedFraction() {
+	for _, alpha := range []float64{1, 8, 16} {
+		fmt.Printf("alpha=%-2g reserved=%.3f\n", alpha, occamy.DTReservedFraction(alpha, 1))
+	}
+	// Output:
+	// alpha=1  reserved=0.500
+	// alpha=8  reserved=0.111
+	// alpha=16 reserved=0.059
+}
+
+// ExampleNewSwitch forwards one packet through a minimal Occamy switch.
+func ExampleNewSwitch() {
+	eng := occamy.NewEngine()
+	occCfg := occamy.OccamyConfig{Alpha: 8}
+	sw := occamy.NewSwitch("sw0", eng, occamy.SwitchConfig{
+		Ports:          2,
+		ClassesPerPort: 1,
+		BufferBytes:    64 << 10,
+		Policy:         occamy.NewOccamy(occCfg),
+		Occamy:         &occCfg,
+	})
+	for i := 0; i < 2; i++ {
+		i := i
+		sw.AttachPort(i, 10e9, 0, func(p *occamy.Packet) {
+			fmt.Printf("port %d delivered packet %d at %v\n", i, p.ID, eng.Now())
+		})
+	}
+	sw.SetRouter(func(p *occamy.Packet) int { return int(p.Dst) })
+
+	sw.Receive(&occamy.Packet{ID: 1, Dst: 1, Size: 1250})
+	eng.Run()
+	// Output:
+	// port 1 delivered packet 1 at 1.000us
+}
+
+// ExampleHardwareCostTable prints the head-drop selector's cost row.
+func ExampleHardwareCostTable() {
+	sel := occamy.HardwareCostTable(64, 20)[0]
+	fmt.Printf("%s: %d LUTs, %d FFs\n", sel.Module, sel.LUTs, sel.FlipFlops)
+	// Output:
+	// Selector: 1261 LUTs, 47 FFs
+}

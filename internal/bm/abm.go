@@ -1,0 +1,85 @@
+package bm
+
+// ABM is Active Buffer Management (Addanki, Apostolaki, Ghobadi, Schmid,
+// Vanbever — SIGCOMM'22), the strongest non-preemptive baseline in the
+// paper. ABM scales DT's threshold by (a) the number of congested queues
+// in the same priority class and (b) the queue's normalized drain rate:
+//
+//	T_i(t) = α_p / n_p(t) · (B − ΣQ(t)) · μ_i(t)
+//
+// where n_p is the number of congested queues in priority class p and
+// μ_i ∈ [0,1] is queue i's dequeue rate relative to its port capacity.
+// Slow-draining queues therefore get small thresholds, which bounds
+// buffer drain time — but the scheme remains non-preemptive: it cannot
+// reclaim buffer a queue already holds (the root of the buffer-choking
+// result in Fig 15).
+type ABM struct {
+	// Alpha is α_p for every priority class unless overridden.
+	Alpha float64
+	// AlphaFor optionally overrides α per priority class.
+	AlphaFor map[int]float64
+	// CongestionEpsilon is the queue length (bytes) above which a queue
+	// counts as congested for n_p. Zero means any non-empty queue.
+	CongestionEpsilon int
+	// MinRate floors μ_i so that a paused queue still gets a sliver of
+	// buffer and can restart. Default 0.01 when zero.
+	MinRate float64
+}
+
+// NewABM returns an ABM policy with uniform α.
+func NewABM(alpha float64) *ABM { return &ABM{Alpha: alpha} }
+
+// Name implements Policy.
+func (p *ABM) Name() string { return "ABM" }
+
+func (p *ABM) alphaFor(prio int) float64 {
+	if a, ok := p.AlphaFor[prio]; ok {
+		return a
+	}
+	return p.Alpha
+}
+
+func (p *ABM) minRate() float64 {
+	if p.MinRate == 0 {
+		return 0.01
+	}
+	return p.MinRate
+}
+
+// congestedInClass counts queues in q's priority class whose length
+// exceeds the congestion epsilon.
+func (p *ABM) congestedInClass(st State, prio int) int {
+	n := 0
+	for i := 0; i < st.NumQueues(); i++ {
+		if st.QueuePriority(i) == prio && st.QueueLen(i) > p.CongestionEpsilon {
+			n++
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Threshold implements Policy.
+func (p *ABM) Threshold(st State, q int) int {
+	prio := st.QueuePriority(q)
+	np := p.congestedInClass(st, prio)
+	mu := st.DequeueRate(q)
+	if mu < p.minRate() {
+		mu = p.minRate()
+	}
+	if mu > 1 {
+		mu = 1
+	}
+	t := p.alphaFor(prio) / float64(np) * float64(FreeBuffer(st)) * mu
+	return clampInt(t)
+}
+
+// Admit implements Policy.
+func (p *ABM) Admit(st State, q, size int) bool {
+	if FreeBuffer(st) < size {
+		return false
+	}
+	return st.QueueLen(q) < p.Threshold(st, q)
+}

@@ -1,0 +1,89 @@
+package bm
+
+import "testing"
+
+func TestEDTBurstHeadroom(t *testing.T) {
+	now := int64(0)
+	p := NewEDT(1, func() int64 { return now })
+	st := &fakeState{capacity: 1000, lens: []int{0, 500}}
+
+	// Queue 0 is empty; first packet activates it: it is bursting and
+	// gets headroom beyond the DT threshold.
+	dtLimit := clampInt(1 * float64(FreeBuffer(st)))
+	burstLimit := p.Threshold(st, 0)
+	if burstLimit <= dtLimit {
+		t.Fatalf("bursting threshold %d <= DT %d", burstLimit, dtLimit)
+	}
+
+	// Make the queue non-empty and age past the window: back to DT.
+	st.lens[0] = 100
+	p.bursting(st, 0) // bookkeeping tick while active
+	now += 200_000    // 200µs > 100µs window
+	if got := p.Threshold(st, 0); got > clampInt(1*float64(FreeBuffer(st))) {
+		t.Fatalf("aged queue still has headroom: %d", got)
+	}
+}
+
+func TestEDTReactivationRestartsWindow(t *testing.T) {
+	now := int64(0)
+	p := NewEDT(1, func() int64 { return now })
+	st := &fakeState{capacity: 1000, lens: []int{100}}
+	p.bursting(st, 0)
+	now += 500_000
+	st.lens[0] = 0
+	p.bursting(st, 0) // queue drained
+	st.lens[0] = 50   // new burst arrives
+	if !p.bursting(st, 0) {
+		t.Fatal("reactivated queue not recognized as bursting")
+	}
+}
+
+func TestTDTStates(t *testing.T) {
+	p := NewTDT(1)
+	st := &fakeState{capacity: 10000, lens: []int{100}}
+	base := p.Threshold(st, 0)
+
+	// Fast growth (below the overload level): absorption state
+	// enlarges the threshold.
+	p.Observe(st, 0) // baseline at 100
+	st.lens[0] = 2100
+	p.Observe(st, 0) // grew by 2000 >= one MTU
+	st.lens[0] = 100 // back down so FreeBuffer is comparable
+	if got := p.Threshold(st, 0); got <= base {
+		t.Fatalf("absorption threshold %d <= normal %d", got, base)
+	}
+
+	// Sustained overload: evacuation state shrinks it.
+	st.lens[0] = 6000 // > capacity/2
+	p.Observe(st, 0)
+	st.lens[0] = 100
+	if got := p.Threshold(st, 0); got >= base {
+		t.Fatalf("evacuation threshold %d >= normal %d", got, base)
+	}
+
+	// Drained: back to normal.
+	st.lens[0] = 0
+	p.Observe(st, 0)
+	if got := p.Threshold(st, 0); got != p.Threshold(st, 0) || got == 0 {
+		t.Fatalf("normal threshold = %d", got)
+	}
+}
+
+func TestTDTWithoutObservationsIsDT(t *testing.T) {
+	p := NewTDT(2)
+	dt := NewDT(2)
+	st := &fakeState{capacity: 1000, lens: []int{300, 100}}
+	for q := 0; q < 2; q++ {
+		if p.Threshold(st, q) != dt.Threshold(st, q) {
+			t.Fatalf("queue %d: TDT %d != DT %d", q, p.Threshold(st, q), dt.Threshold(st, q))
+		}
+	}
+}
+
+func TestEDTAdmitRespectsPhysicalLimit(t *testing.T) {
+	p := NewEDT(8, func() int64 { return 0 })
+	st := &fakeState{capacity: 100, lens: []int{99}}
+	if p.Admit(st, 0, 10) {
+		t.Fatal("EDT admitted beyond capacity")
+	}
+}

@@ -1,0 +1,113 @@
+package bm
+
+// TDT is the Traffic-aware Dynamic Threshold policy (Huang, Wang, Cui,
+// INFOCOM'21), a related-work baseline (§7). TDT classifies each
+// queue's state from its recent dynamics and switches the threshold
+// rule accordingly:
+//
+//   - normal: the plain DT threshold α·(B−Q),
+//   - absorption (a burst is arriving): an enlarged threshold so the
+//     burst is absorbed rather than tail-dropped,
+//   - evacuation (persistent overload): a shrunken threshold so a
+//     long-term hog releases buffer for others.
+//
+// State detection uses queue-growth observations supplied by the
+// embedding switch through Observe; without observations TDT degrades
+// to plain DT.
+type TDT struct {
+	// Alpha is the base DT parameter.
+	Alpha float64
+	// AbsorbFactor scales the threshold up in absorption state
+	// (default 4 when zero); EvacuateFactor scales it down in
+	// evacuation state (default 0.5 when zero).
+	AbsorbFactor   float64
+	EvacuateFactor float64
+	// GrowthHigh is the queue growth in bytes per observation that
+	// enters absorption; OverloadLen is the sustained queue length in
+	// bytes that enters evacuation. Defaults: one MTU, half of B.
+	GrowthHigh  int
+	OverloadLen int
+
+	state   map[int]tdtState
+	lastLen map[int]int
+}
+
+type tdtState int
+
+const (
+	tdtNormal tdtState = iota
+	tdtAbsorb
+	tdtEvacuate
+)
+
+// NewTDT returns a TDT policy.
+func NewTDT(alpha float64) *TDT {
+	return &TDT{
+		Alpha:   alpha,
+		state:   make(map[int]tdtState),
+		lastLen: make(map[int]int),
+	}
+}
+
+// Name implements Policy.
+func (p *TDT) Name() string { return "TDT" }
+
+func (p *TDT) absorb() float64 {
+	if p.AbsorbFactor == 0 {
+		return 4
+	}
+	return p.AbsorbFactor
+}
+
+func (p *TDT) evacuate() float64 {
+	if p.EvacuateFactor == 0 {
+		return 0.5
+	}
+	return p.EvacuateFactor
+}
+
+// Observe feeds one periodic queue-length observation; the switch (or
+// experiment) calls it on a fixed cadence per queue.
+func (p *TDT) Observe(st State, q int) {
+	growthHigh := p.GrowthHigh
+	if growthHigh == 0 {
+		growthHigh = 1500
+	}
+	overload := p.OverloadLen
+	if overload == 0 {
+		overload = st.Capacity() / 2
+	}
+	cur := st.QueueLen(q)
+	growth := cur - p.lastLen[q]
+	p.lastLen[q] = cur
+	switch {
+	case cur > overload:
+		// Sustained hog: force it to release buffer.
+		p.state[q] = tdtEvacuate
+	case growth >= growthHigh:
+		// Fast growth: a burst is arriving; absorb it.
+		p.state[q] = tdtAbsorb
+	case cur == 0:
+		p.state[q] = tdtNormal
+	}
+}
+
+// Threshold implements Policy.
+func (p *TDT) Threshold(st State, q int) int {
+	t := p.Alpha * float64(FreeBuffer(st))
+	switch p.state[q] {
+	case tdtAbsorb:
+		t *= p.absorb()
+	case tdtEvacuate:
+		t *= p.evacuate()
+	}
+	return clampInt(t)
+}
+
+// Admit implements Policy.
+func (p *TDT) Admit(st State, q, size int) bool {
+	if FreeBuffer(st) < size {
+		return false
+	}
+	return st.QueueLen(q) < p.Threshold(st, q)
+}

@@ -1,0 +1,36 @@
+package cellmem
+
+import "testing"
+
+// BenchmarkAllocRelease measures the admission-path buffer operations:
+// pop cells + PD, then return them (a full packet lifetime).
+func BenchmarkAllocRelease(b *testing.B) {
+	p := New(Config{CellSize: 200, NumCells: 1 << 16})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref := p.Alloc(1500, uint64(i))
+		p.Release(ref, true)
+	}
+}
+
+// BenchmarkQueueCycle measures enqueue + dequeue through a PD list.
+func BenchmarkQueueCycle(b *testing.B) {
+	p := New(Config{CellSize: 200, NumCells: 1 << 16})
+	q := NewQueue(p)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p.Alloc(1500, uint64(i)))
+		q.Dequeue()
+	}
+}
+
+// BenchmarkHeadDrop measures the expulsion path (no cell-data reads).
+func BenchmarkHeadDrop(b *testing.B) {
+	p := New(Config{CellSize: 200, NumCells: 1 << 16})
+	q := NewQueue(p)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p.Alloc(1500, uint64(i)))
+		q.HeadDrop()
+	}
+}

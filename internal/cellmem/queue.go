@@ -1,0 +1,83 @@
+package cellmem
+
+// Queue is a FIFO of buffered packets organized, as in the switch chip,
+// as a linked list of packet descriptors in PD memory. All state other
+// than head/tail lives in the shared Pool.
+type Queue struct {
+	pool  *Pool
+	head  int32
+	tail  int32
+	pkts  int
+	bytes int
+}
+
+// NewQueue returns an empty queue over the pool.
+func NewQueue(pool *Pool) *Queue {
+	return &Queue{pool: pool, head: nilIdx, tail: nilIdx}
+}
+
+// Len returns the queue length in bytes (the quantity BM thresholds
+// compare against).
+func (q *Queue) Len() int { return q.bytes }
+
+// Packets returns the number of buffered packets.
+func (q *Queue) Packets() int { return q.pkts }
+
+// Empty reports whether the queue holds no packets.
+func (q *Queue) Empty() bool { return q.pkts == 0 }
+
+// Head returns the descriptor at the head without removing it, or NilPD.
+func (q *Queue) Head() PDRef {
+	if q.head == nilIdx {
+		return NilPD
+	}
+	return PDRef(q.head)
+}
+
+// Enqueue appends an admitted packet's descriptor to the tail.
+func (q *Queue) Enqueue(ref PDRef) {
+	pd := q.pool.pd(ref)
+	pd.next = nilIdx
+	if q.tail == nilIdx {
+		q.head = int32(ref)
+	} else {
+		q.pool.pds[q.tail].next = int32(ref)
+	}
+	q.tail = int32(ref)
+	q.pkts++
+	q.bytes += int(pd.Len)
+	q.pool.meters.PDOps++ // tail-link write
+}
+
+// Dequeue removes the head packet for transmission: the PD is unlinked,
+// the cells are freed, and the cell data is read (metered). It returns
+// the packet length and identity.
+func (q *Queue) Dequeue() (pktLen int, pktID uint64, ok bool) {
+	return q.remove(true)
+}
+
+// HeadDrop removes the head packet *without* reading cell data memory —
+// the preemptive expulsion path (§4.3). It returns the dropped packet's
+// length and identity.
+func (q *Queue) HeadDrop() (pktLen int, pktID uint64, ok bool) {
+	return q.remove(false)
+}
+
+func (q *Queue) remove(readData bool) (int, uint64, bool) {
+	if q.head == nilIdx {
+		return 0, 0, false
+	}
+	ref := PDRef(q.head)
+	pd := q.pool.pd(ref)
+	q.head = pd.next
+	if q.head == nilIdx {
+		q.tail = nilIdx
+	}
+	q.pkts--
+	length := int(pd.Len)
+	id := pd.PktID
+	q.bytes -= length
+	q.pool.meters.PDOps++ // head-advance write
+	q.pool.Release(ref, readData)
+	return length, id, true
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"occamy/internal/bm"
+	"occamy/internal/hw"
+)
+
+// Pushout is the historically optimal preemptive baseline (§2.2): a
+// packet is admitted whenever any buffer remains, and when the buffer is
+// full, packets are expelled from the longest queue to make room.
+//
+// Unlike Occamy, Pushout couples expulsion to the enqueue path (the
+// arriving packet waits for the eviction) and needs a real-time Maximum
+// Finder — the two implementation burdens Occamy removes. The simulator
+// grants Pushout both for free, making it the idealized upper bound the
+// paper compares against.
+type Pushout struct {
+	finder *hw.MaxFinder
+}
+
+// NewPushout returns the Pushout policy.
+func NewPushout() *Pushout { return &Pushout{} }
+
+// Name implements bm.Policy.
+func (*Pushout) Name() string { return "Pushout" }
+
+// Admit implements bm.Policy: accept whenever the packet fits. Room is
+// made beforehand via MakeRoom, so this is effectively always true.
+func (*Pushout) Admit(st bm.State, q, size int) bool {
+	return bm.FreeBuffer(st) >= size
+}
+
+// Threshold implements bm.Policy: Pushout imposes no per-queue limit.
+func (*Pushout) Threshold(st bm.State, q int) int { return bm.Unlimited(st) }
+
+// MakeRoom expels head packets from the longest queue until `size` bytes
+// fit or nothing remains to expel. The switch calls it when an arrival
+// finds the buffer full. It reports whether enough room was freed.
+func (p *Pushout) MakeRoom(tm TM, st bm.State, size int) bool {
+	n := tm.NumQueues()
+	if p.finder == nil || p.finder.Comparators() != n-1 {
+		p.finder = hw.NewMaxFinder(n, 32)
+	}
+	vals := make([]int, n)
+	for bm.FreeBuffer(st) < size {
+		longest, max := 0, 0
+		for q := 0; q < n; q++ {
+			vals[q] = tm.QueueLen(q)
+			if vals[q] > max {
+				max = vals[q]
+			}
+		}
+		if max == 0 {
+			return false // nothing buffered anywhere
+		}
+		longest = p.finder.Find(vals)
+		if _, _, ok := tm.HeadDrop(longest); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Preemptor is implemented by policies that can evict buffered packets
+// at admission time. The switch consults it when Admit fails for lack of
+// physical space.
+type Preemptor interface {
+	MakeRoom(tm TM, st bm.State, size int) bool
+}
+
+var _ Preemptor = (*Pushout)(nil)
+var _ bm.Policy = (*Pushout)(nil)
+var _ bm.Policy = (*Occamy)(nil)

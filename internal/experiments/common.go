@@ -1,0 +1,200 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each harness builds the scenario from the reusable
+// substrates (switchsim, netsim, transport, workload), runs it, and
+// returns a Table whose rows mirror the series the paper plots.
+//
+// Every harness takes a scale parameter so the same code runs both at
+// test/bench scale (milliseconds of virtual time, few hosts) and at
+// paper scale (cmd/occamy-sim). EXPERIMENTS.md records paper-vs-measured
+// shapes for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"occamy/internal/bm"
+	"occamy/internal/core"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+)
+
+// Table is one experiment's output: labeled columns and formatted rows.
+type Table struct {
+	ID      string // e.g. "fig12"
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table in aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Ms formats a duration in milliseconds for table cells.
+func Ms(d sim.Duration) string { return fmt.Sprintf("%.3f", d.Millis()) }
+
+// PolicySpec names a buffer-management configuration under comparison.
+type PolicySpec struct {
+	Name string
+	// Make builds a fresh policy instance and, for Occamy, the
+	// expulsion-engine config the switch should run.
+	Make func() (bm.Policy, *core.Config)
+}
+
+// DTSpec returns Dynamic Threshold with the given α.
+func DTSpec(alpha float64) PolicySpec {
+	return PolicySpec{
+		Name: fmt.Sprintf("DT(a=%g)", alpha),
+		Make: func() (bm.Policy, *core.Config) { return bm.NewDT(alpha), nil },
+	}
+}
+
+// ABMSpec returns ABM with the given α.
+func ABMSpec(alpha float64) PolicySpec {
+	return PolicySpec{
+		Name: fmt.Sprintf("ABM(a=%g)", alpha),
+		Make: func() (bm.Policy, *core.Config) { return bm.NewABM(alpha), nil },
+	}
+}
+
+// OccamySpec returns Occamy with the given admission α and victim policy.
+func OccamySpec(alpha float64, victim core.VictimPolicy) PolicySpec {
+	name := "Occamy"
+	if victim == core.LongestQueue {
+		name = "Occamy-LD"
+	}
+	return PolicySpec{
+		Name: name,
+		Make: func() (bm.Policy, *core.Config) {
+			cfg := core.Config{Alpha: alpha, Victim: victim}
+			return core.New(cfg), &cfg
+		},
+	}
+}
+
+// PushoutSpec returns the idealized preemptive baseline.
+func PushoutSpec() PolicySpec {
+	return PolicySpec{
+		Name: "Pushout",
+		Make: func() (bm.Policy, *core.Config) { return core.NewPushout(), nil },
+	}
+}
+
+// StandardComparison is the paper's §6.2 default line-up: DT α=1,
+// ABM α=2, Occamy α=8, Pushout.
+func StandardComparison() []PolicySpec {
+	return []PolicySpec{
+		OccamySpec(8, core.RoundRobin),
+		ABMSpec(2),
+		DTSpec(1),
+		PushoutSpec(),
+	}
+}
+
+// Injector feeds fixed-size packets directly into a switch (the
+// Pktgen-DPDK role in the P4 experiments): no transport, no host — raw
+// arrival processes for the queue-dynamics figures.
+type Injector struct {
+	Eng     *sim.Engine
+	Sw      *switchsim.Switch
+	Dst     pkt.NodeID
+	Prio    int
+	PktSize int
+	FlowID  uint64
+
+	Sent  int64
+	Bytes int64
+
+	nextID uint64
+	ticker *sim.Ticker
+}
+
+func (in *Injector) packet() *pkt.Packet {
+	in.nextID++
+	in.Sent++
+	in.Bytes += int64(in.PktSize)
+	return &pkt.Packet{
+		ID:       in.nextID + in.FlowID<<32,
+		FlowID:   in.FlowID,
+		Dst:      in.Dst,
+		Size:     in.PktSize,
+		Priority: in.Prio,
+	}
+}
+
+// StartCBR injects at a constant bit rate from `from` until Stop.
+func (in *Injector) StartCBR(from sim.Time, rateBps float64) {
+	gap := sim.Duration(float64(in.PktSize*8) / rateBps * float64(sim.Second))
+	if gap < 1 {
+		gap = 1
+	}
+	start := from - in.Eng.Now()
+	if start < 0 {
+		start = 0
+	}
+	in.ticker = in.Eng.Every(start, gap, func() { in.Sw.Receive(in.packet()) })
+}
+
+// Stop halts a CBR injection.
+func (in *Injector) Stop() {
+	if in.ticker != nil {
+		in.ticker.Stop()
+	}
+}
+
+// Burst injects totalBytes as back-to-back packets paced at rateBps
+// starting at `at` (e.g. a 100G sender bursting into a 10G port).
+func (in *Injector) Burst(at sim.Time, totalBytes int64, rateBps float64) {
+	gap := sim.Duration(float64(in.PktSize*8) / rateBps * float64(sim.Second))
+	if gap < 1 {
+		gap = 1
+	}
+	n := totalBytes / int64(in.PktSize)
+	for i := int64(0); i < n; i++ {
+		t := at + sim.Duration(i)*gap
+		in.Eng.At(t, func() { in.Sw.Receive(in.packet()) })
+	}
+}

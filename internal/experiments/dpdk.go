@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"occamy/internal/bm"
+	"occamy/internal/core"
+	"occamy/internal/metrics"
+	"occamy/internal/netsim"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+	"occamy/internal/transport"
+	"occamy/internal/workload"
+)
+
+// DPDKConfig reproduces the software-switch testbed of §6.2: N hosts at
+// 10Gbps around one shared-memory switch with 5.12KB of buffer per port
+// per Gbps (410KB at the paper's 8×10G).
+type DPDKConfig struct {
+	Spec PolicySpec
+	// Hosts is the number of end nodes (paper: 8).
+	Hosts int
+	// LinkBps is the access rate (paper: 10G).
+	LinkBps float64
+	// Classes is the number of traffic classes per port (1 for Fig 13,
+	// 2 for Figs 14–16).
+	Classes int
+	// Scheduler applies across classes (DRR for isolation, SP for
+	// buffer choking).
+	Scheduler switchsim.SchedKind
+	// QuerySize is the total incast response volume per query.
+	QuerySize int64
+	// Queries is how many queries to measure.
+	Queries int
+	// QueryInterval spaces queries; 0 derives ~5× the unloaded QCT.
+	QueryInterval sim.Duration
+	// QueryPriority is the class of query traffic.
+	QueryPriority int
+	// BgLoad is the web-search background load fraction (0 disables).
+	BgLoad float64
+	// BgPriority is the class of background traffic.
+	BgPriority int
+	// BgCubic switches background flows to the CUBIC controller (the
+	// isolation and choking experiments).
+	BgCubic bool
+	// AlphaHP/AlphaLP override admission α per priority class when
+	// non-zero (the Fig 15 configuration).
+	AlphaHP, AlphaLP float64
+	// BufferOverride replaces the Tomahawk-style buffer sizing when
+	// non-zero (Fig 6 uses the CE6865's 2MB).
+	BufferOverride int
+	// BgExcludeClient keeps background traffic off the incast client's
+	// port (Fig 6's inter-port case).
+	BgExcludeClient bool
+	// ECNThresholdBytes overrides the DCTCP marking point (default 65
+	// packets; Fig 6's testbed uses 300KB).
+	ECNThresholdBytes int
+	// LongLivedLP adds this many persistent low-priority flows toward
+	// the incast client, spread over the LP classes and the last two
+	// hosts (the Fig 6 buffer-choking companions).
+	LongLivedLP int
+	// QueryServers restricts responders to hosts 1..QueryServers (0 =
+	// all non-client hosts).
+	QueryServers int
+	// QueryFanout is the number of response flows per query (0 = one
+	// per server; the Fig 6 testbed uses 40 across 5 servers).
+	QueryFanout int
+	// Transport tunes the end-host stack for every flow in the run
+	// (e.g. Fig 6 fixes DupThresh=3 to mimic the stock-Linux testbed).
+	Transport transport.Options
+	// Seed for the workload RNG.
+	Seed uint64
+}
+
+func (c DPDKConfig) withDefaults() DPDKConfig {
+	if c.Hosts == 0 {
+		c.Hosts = 8
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 10e9
+	}
+	if c.Classes == 0 {
+		c.Classes = 1
+	}
+	if c.Queries == 0 {
+		c.Queries = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// BufferBytes returns the shared buffer size: the Tomahawk-style
+// 5.12KB/port/Gbps, unless overridden. Defaults are applied first so
+// callers can size queries before RunDPDK.
+func (c DPDKConfig) BufferBytes() int {
+	c = c.withDefaults()
+	if c.BufferOverride > 0 {
+		return c.BufferOverride
+	}
+	return int(5.12 * 1024 * float64(c.Hosts) * c.LinkBps / 1e9)
+}
+
+// DPDKResult carries the per-run metrics.
+type DPDKResult struct {
+	Query    metrics.Collector // QCTs
+	Bg       metrics.Collector // background FCTs
+	Timeouts int64             // RTOs across query flows
+	Switch   switchsim.Stats
+	// MaxOccupancy is the peak buffered byte count observed (100µs
+	// sampling), a cheap congestion diagnostic.
+	MaxOccupancy int
+}
+
+// RunDPDK executes one software-switch scenario.
+func RunDPDK(cfg DPDKConfig) *DPDKResult {
+	cfg = cfg.withDefaults()
+	policy, occ := cfg.Spec.Make()
+	if cfg.AlphaHP != 0 || cfg.AlphaLP != 0 {
+		applyAlphaByPrio(policy, cfg.AlphaHP, cfg.AlphaLP)
+	}
+
+	rates := make([]float64, cfg.Hosts)
+	for i := range rates {
+		rates[i] = cfg.LinkBps
+	}
+	// ECN threshold: 65 packets as in the paper's DPDK setup, unless
+	// the scenario overrides it.
+	ecn := 65 * pkt.MTU
+	if cfg.ECNThresholdBytes > 0 {
+		ecn = cfg.ECNThresholdBytes
+	}
+	net := netsim.SingleSwitch(netsim.SingleSwitchConfig{
+		HostRates: rates,
+		LinkDelay: 5 * sim.Microsecond,
+		Switch: switchsim.Config{
+			ClassesPerPort:    cfg.Classes,
+			BufferBytes:       cfg.BufferBytes(),
+			Policy:            policy,
+			Occamy:            occ,
+			ECNThresholdBytes: ecn,
+			Scheduler:         cfg.Scheduler,
+		},
+		Seed: cfg.Seed,
+	})
+
+	res := &DPDKResult{}
+	oneWay := 10 * sim.Microsecond
+
+	// Background: web-search 1-to-1 flows.
+	var bg *workload.Background
+	if cfg.BgLoad > 0 {
+		first := 0
+		if cfg.BgExcludeClient {
+			first = 1 // host 0 is the incast client
+		}
+		hosts := make([]pkt.NodeID, 0, cfg.Hosts-first)
+		for i := first; i < cfg.Hosts; i++ {
+			hosts = append(hosts, pkt.NodeID(i))
+		}
+		bg = &workload.Background{
+			Net: net, Hosts: hosts, Load: cfg.BgLoad, LinkBps: cfg.LinkBps,
+			Dist: workload.WebSearch(), Priority: cfg.BgPriority, ECN: true,
+			Opts: cfg.Transport, Collector: &res.Bg, OneWayBase: oneWay,
+		}
+		if cfg.BgCubic {
+			bg.NewCC = func(mss, segs int) transport.CC { return transport.NewCubic(mss, segs) }
+		}
+	}
+
+	// Long-lived low-priority companions (Fig 6): persistent flows from
+	// the last two hosts to the client, one per LP class round-robin.
+	if cfg.LongLivedLP > 0 {
+		lpClasses := cfg.Classes - 1
+		if lpClasses < 1 {
+			lpClasses = 1
+		}
+		for i := 0; i < cfg.LongLivedLP; i++ {
+			src := pkt.NodeID(cfg.Hosts - 1 - i%2)
+			prio := 1 + i%lpClasses
+			net.StartFlow(0, src, 0, 1<<40, netsim.FlowOptions{
+				Priority: prio, ECN: true, Transport: cfg.Transport,
+			})
+		}
+	}
+
+	// Query traffic: host 0 is the client, everyone else serves (or a
+	// restricted prefix when QueryServers is set).
+	nServers := cfg.Hosts - 1
+	if cfg.QueryServers > 0 && cfg.QueryServers < nServers {
+		nServers = cfg.QueryServers
+	}
+	servers := make([]pkt.NodeID, 0, nServers)
+	for i := 1; i <= nServers; i++ {
+		servers = append(servers, pkt.NodeID(i))
+	}
+	fanout := len(servers)
+	if cfg.QueryFanout > 0 {
+		fanout = cfg.QueryFanout
+	}
+	interval := cfg.QueryInterval
+	if interval == 0 {
+		// Sparse queries, as in the paper's 1% query load: leave enough
+		// headroom that a congested query still finishes before the next.
+		unloaded := workload.IdealFCT(cfg.QuerySize, cfg.LinkBps, oneWay)
+		interval = 10 * unloaded
+		if interval < 4*sim.Millisecond {
+			interval = 4 * sim.Millisecond
+		}
+	}
+	q := &workload.Incast{
+		Net: net, Client: 0, Servers: servers,
+		Fanout: fanout, QuerySize: cfg.QuerySize,
+		Interval: interval, Priority: cfg.QueryPriority, ECN: true,
+		Opts:      cfg.Transport,
+		Collector: &res.Query, LinkBps: cfg.LinkBps, OneWayBase: oneWay,
+	}
+
+	net.Eng.Every(0, 100*sim.Microsecond, func() {
+		if occ := net.Switches[0].Occupancy(); occ > res.MaxOccupancy {
+			res.MaxOccupancy = occ
+		}
+	})
+	wirePolicyClocks(net.Switches[0], policy, net.Eng)
+
+	warmup := 5 * sim.Millisecond
+	horizon := warmup + sim.Duration(cfg.Queries)*interval
+	if bg != nil {
+		bg.Start(0, horizon+50*sim.Millisecond)
+	}
+	q.Start(warmup, horizon)
+	// Run until all queries are answered (bounded to avoid hangs).
+	deadline := horizon + 500*sim.Millisecond
+	for net.Eng.Now() < deadline && q.Done() < int64(cfg.Queries) {
+		net.Eng.RunFor(5 * sim.Millisecond)
+	}
+	if bg != nil {
+		bg.Stop()
+	}
+	q.Stop()
+	res.Timeouts = q.Timeouts()
+	res.Switch = net.Switches[0].Stats()
+	return res
+}
+
+// applyAlphaByPrio installs per-priority-class admission α (class 0 =
+// hp, class 1 = lp) on whichever policy kind is in use. Pushout has no
+// thresholds, so it is left untouched.
+func applyAlphaByPrio(policy bm.Policy, hp, lp float64) {
+	m := map[int]float64{0: hp, 1: lp}
+	switch p := policy.(type) {
+	case *core.Occamy:
+		p.DT.AlphaByPrio = m
+	case *bm.DT:
+		p.AlphaByPrio = m
+	case *bm.ABM:
+		p.AlphaFor = m // ABM's AlphaFor is keyed by priority class already
+	}
+}

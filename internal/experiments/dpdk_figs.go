@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"occamy/internal/switchsim"
+)
+
+// DPDKScale bounds the runtime of the Fig 13–16 sweeps: tests use a few
+// queries and sizes, benches and the CLI more.
+type DPDKScale struct {
+	Hosts   int
+	Queries int
+	// SizeFracs are the query sizes as fractions of the buffer.
+	SizeFracs []float64
+	// Loads are the Fig 14 background loads.
+	Loads []float64
+	// Alphas are the Fig 16 sweep values.
+	Alphas []float64
+	Seed   uint64
+}
+
+// QuickDPDK is the test-scale configuration.
+func QuickDPDK() DPDKScale {
+	return DPDKScale{
+		Hosts:     6,
+		Queries:   8,
+		SizeFracs: []float64{0.4, 0.8, 1.2},
+		Loads:     []float64{0.2, 0.5},
+		Alphas:    []float64{0.5, 2, 8},
+		Seed:      42,
+	}
+}
+
+// PaperDPDK approximates the paper-scale configuration.
+func PaperDPDK() DPDKScale {
+	return DPDKScale{
+		Hosts:     8,
+		Queries:   60,
+		SizeFracs: []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4},
+		Loads:     []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+		Alphas:    []float64{0.5, 1, 2, 4, 8},
+		Seed:      42,
+	}
+}
+
+// Fig13SoftwareSwitch: burst absorption on the software switch — query
+// QCT (avg, p99) and background FCT (overall avg, small p99) versus
+// query size, for the standard policy line-up. Background is web-search
+// at 50% load in the same (single) traffic class.
+func Fig13SoftwareSwitch(sc DPDKScale) *Table {
+	t := &Table{
+		ID:    "fig13",
+		Title: "software switch: QCT/FCT vs query size (bg web-search 50%)",
+		Columns: []string{"size_frac", "policy", "avg_qct_ms", "p99_qct_ms",
+			"bg_avg_fct_ms", "small_bg_p99_ms", "rtos"},
+	}
+	for _, frac := range sc.SizeFracs {
+		for _, spec := range StandardComparison() {
+			cfg := DPDKConfig{
+				Spec: spec, Hosts: sc.Hosts, Queries: sc.Queries,
+				BgLoad: 0.5, Seed: sc.Seed,
+			}
+			cfg.QuerySize = int64(frac * float64(cfg.BufferBytes()))
+			r := RunDPDK(cfg)
+			small := r.Bg.Small(100_000)
+			t.AddRow(F(frac), spec.Name,
+				Ms(r.Query.MeanFCT()), Ms(r.Query.P99FCT()),
+				Ms(r.Bg.MeanFCT()), Ms(small.P99FCT()), F(float64(r.Timeouts)))
+		}
+	}
+	return t
+}
+
+// Fig14Isolation: query and background in two DRR-scheduled classes;
+// background is CUBIC at increasing load. Non-preemptive BMs let the
+// background queue's buffer hurt query QCT.
+func Fig14Isolation(sc DPDKScale) *Table {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "performance isolation: QCT vs background load (DRR, 2 classes)",
+		Columns: []string{"bg_load", "policy", "avg_qct_ms", "p99_qct_ms", "rtos"},
+	}
+	for _, load := range sc.Loads {
+		for _, spec := range StandardComparison() {
+			cfg := DPDKConfig{
+				Spec: spec, Hosts: sc.Hosts, Queries: sc.Queries,
+				Classes: 2, Scheduler: switchsim.SchedDRR,
+				QueryPriority: 0, BgPriority: 1,
+				BgLoad: load, BgCubic: true, Seed: sc.Seed,
+			}
+			cfg.QuerySize = int64(0.6 * float64(cfg.BufferBytes()))
+			r := RunDPDK(cfg)
+			t.AddRow(F(load), spec.Name,
+				Ms(r.Query.MeanFCT()), Ms(r.Query.P99FCT()), F(float64(r.Timeouts)))
+		}
+	}
+	return t
+}
+
+// Fig15BufferChoking: strict priority, α=8 for the HP class and α=1 for
+// LP. Low-priority background should not delay high-priority queries —
+// but non-preemptive BMs choke.
+func Fig15BufferChoking(sc DPDKScale) *Table {
+	t := &Table{
+		ID:    "fig15",
+		Title: "buffer choking: HP QCT with vs without LP background (SP)",
+		Columns: []string{"size_frac", "policy", "qct_no_bg_ms", "qct_with_bg_ms",
+			"p99_no_bg_ms", "p99_with_bg_ms"},
+	}
+	fracs := make([]float64, 0, len(sc.SizeFracs))
+	for _, f := range sc.SizeFracs {
+		fracs = append(fracs, f+1.0) // the paper sweeps 150–250% of buffer
+	}
+	for _, frac := range fracs {
+		for _, spec := range StandardComparison() {
+			base := DPDKConfig{
+				Spec: spec, Hosts: sc.Hosts, Queries: sc.Queries,
+				Classes: 2, Scheduler: switchsim.SchedSP,
+				QueryPriority: 0, BgPriority: 1,
+				AlphaHP: 8, AlphaLP: 1, BgCubic: true, Seed: sc.Seed,
+			}
+			base.QuerySize = int64(frac * float64(base.BufferBytes()))
+			noBg := base
+			noBg.BgLoad = 0
+			withBg := base
+			withBg.BgLoad = 0.5
+			r0 := RunDPDK(noBg)
+			r1 := RunDPDK(withBg)
+			t.AddRow(F(frac), spec.Name,
+				Ms(r0.Query.MeanFCT()), Ms(r1.Query.MeanFCT()),
+				Ms(r0.Query.P99FCT()), Ms(r1.Query.P99FCT()))
+		}
+	}
+	return t
+}
+
+// Fig16AlphaImpact: p99 QCT for DT and Occamy across α — DT is best at
+// small α and degrades with large α; Occamy improves with α.
+func Fig16AlphaImpact(sc DPDKScale) *Table {
+	t := &Table{
+		ID:      "fig16",
+		Title:   "impact of alpha on p99 QCT (DRR, 2 classes, bg 50%)",
+		Columns: []string{"alpha", "size_frac", "dt_p99_ms", "occamy_p99_ms"},
+	}
+	for _, alpha := range sc.Alphas {
+		for _, frac := range sc.SizeFracs {
+			frac := frac + 0.6 // paper sweeps 100–180% of buffer
+			run := func(spec PolicySpec) *DPDKResult {
+				cfg := DPDKConfig{
+					Spec: spec, Hosts: sc.Hosts, Queries: sc.Queries,
+					Classes: 2, Scheduler: switchsim.SchedDRR,
+					QueryPriority: 0, BgPriority: 1,
+					BgLoad: 0.5, BgCubic: true, Seed: sc.Seed,
+				}
+				cfg.QuerySize = int64(frac * float64(cfg.BufferBytes()))
+				return RunDPDK(cfg)
+			}
+			dt := run(DTSpec(alpha))
+			occ := run(OccamySpec(alpha, 0))
+			t.AddRow(F(alpha), F(frac), Ms(dt.Query.P99FCT()), Ms(occ.Query.P99FCT()))
+		}
+	}
+	return t
+}

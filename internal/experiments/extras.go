@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"occamy/internal/bm"
+	"occamy/internal/core"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+)
+
+// ExtendedComparison is the full policy zoo: the paper's §6.2 line-up
+// plus the §7 related-work baselines implemented in this repository
+// (EDT, TDT, POT, QPO, Complete Sharing). EDT's burst clock and TDT's
+// periodic observations are wired by RunDPDK once the engine exists.
+func ExtendedComparison() []PolicySpec {
+	specs := StandardComparison()
+	specs = append(specs,
+		PolicySpec{Name: "EDT", Make: func() (bm.Policy, *core.Config) {
+			return bm.NewEDT(1, nil), nil
+		}},
+		PolicySpec{Name: "TDT", Make: func() (bm.Policy, *core.Config) {
+			return bm.NewTDT(1), nil
+		}},
+		PolicySpec{Name: "POT", Make: func() (bm.Policy, *core.Config) {
+			return core.NewPOT(0.5), nil
+		}},
+		PolicySpec{Name: "QPO", Make: func() (bm.Policy, *core.Config) {
+			return core.NewQPO(), nil
+		}},
+		PolicySpec{Name: "CS", Make: func() (bm.Policy, *core.Config) {
+			return bm.CompleteSharing{}, nil
+		}},
+	)
+	return specs
+}
+
+// ExtrasBakeoff runs the Fig 13 software-switch scenario across the
+// extended policy zoo — an extension beyond the paper that positions
+// Occamy against the §7 related work under identical traffic.
+func ExtrasBakeoff(sc DPDKScale) *Table {
+	t := &Table{
+		ID:    "extras",
+		Title: "extension: all implemented policies on the Fig 13 scenario",
+		Columns: []string{"size_frac", "policy", "avg_qct_ms", "p99_qct_ms",
+			"bg_avg_fct_ms", "rtos"},
+	}
+	for _, frac := range sc.SizeFracs {
+		for _, spec := range ExtendedComparison() {
+			cfg := DPDKConfig{
+				Spec: spec, Hosts: sc.Hosts, Queries: sc.Queries,
+				BgLoad: 0.5, Seed: sc.Seed,
+			}
+			cfg.QuerySize = int64(frac * float64(cfg.BufferBytes()))
+			r := RunDPDK(cfg)
+			t.AddRow(F(frac), spec.Name,
+				Ms(r.Query.MeanFCT()), Ms(r.Query.P99FCT()),
+				Ms(r.Bg.MeanFCT()), F(float64(r.Timeouts)))
+		}
+	}
+	return t
+}
+
+// TDTObserverPeriod is the cadence at which harnesses feed TDT its
+// queue-length observations.
+const TDTObserverPeriod = 10 * sim.Microsecond
+
+// wirePolicyClocks connects clock-dependent policies to a live engine:
+// EDT gets the virtual clock, TDT gets periodic per-queue observations.
+func wirePolicyClocks(sw *switchsim.Switch, policy bm.Policy, eng *sim.Engine) {
+	switch p := policy.(type) {
+	case *bm.EDT:
+		p.Clock = func() int64 { return int64(eng.Now()) }
+	case *bm.TDT:
+		eng.Every(0, TDTObserverPeriod, func() {
+			for q := 0; q < sw.NumQueues(); q++ {
+				p.Observe(sw, q)
+			}
+		})
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"occamy/internal/metrics"
+	"occamy/internal/netsim"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+	"occamy/internal/workload"
+)
+
+// BgKind selects the background traffic pattern in fabric runs.
+type BgKind int
+
+const (
+	// BgWebSearch: Poisson 1-to-1 flows, web-search sizes (§6.4 default).
+	BgWebSearch BgKind = iota
+	// BgAllToAll: rounds where every host sends to every other host.
+	BgAllToAll
+	// BgAllReduce: rounds of double-binary-tree all-reduce flows.
+	BgAllReduce
+	// BgNone: no background.
+	BgNone
+)
+
+// FabricConfig reproduces the §6.4 large-scale simulation: a leaf–spine
+// fabric with ECMP, DCTCP hosts, web-search (or collective) background,
+// and incast query traffic from random clients.
+type FabricConfig struct {
+	Spec PolicySpec
+
+	Spines, Leaves, HostsPerLeaf int
+	HostLinkBps                  float64
+	LinkDelay                    sim.Duration
+	// BufferKBPerPortPerGbps sizes every switch buffer; the paper
+	// emulates Tomahawk at ~5.12 (Fig 23 sweeps 3.44–9.6).
+	BufferKBPerPortPerGbps float64
+	// ECNThresholdFrac sets the marking point as a fraction of the
+	// bandwidth-delay product (paper: 0.72 BDP). 0 defaults to 0.72.
+	ECNThresholdFrac float64
+
+	Bg BgKind
+	// BgLoad is the background load fraction (>1 allowed: Fig 22).
+	BgLoad float64
+	// BgFlowSize is the per-flow size for collective backgrounds.
+	BgFlowSize int64
+
+	// QuerySize is the incast response volume (0 disables queries).
+	QuerySize int64
+	// QueryFanout is responders per query (default min(16, hosts-2)).
+	QueryFanout int
+	// QueryInterval spaces queries (random client each); default 2ms.
+	QueryInterval sim.Duration
+	// Queries is the number of queries to measure.
+	Queries int
+
+	// CollectUtil samples buffer & memory-bandwidth utilization on
+	// every drop (Fig 7).
+	CollectUtil bool
+
+	Seed uint64
+}
+
+func (c FabricConfig) withDefaults() FabricConfig {
+	if c.Spines == 0 {
+		c.Spines = 2
+	}
+	if c.Leaves == 0 {
+		c.Leaves = 2
+	}
+	if c.HostsPerLeaf == 0 {
+		c.HostsPerLeaf = 4
+	}
+	if c.HostLinkBps == 0 {
+		c.HostLinkBps = 10e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 10 * sim.Microsecond
+	}
+	if c.BufferKBPerPortPerGbps == 0 {
+		c.BufferKBPerPortPerGbps = 5.12
+	}
+	if c.ECNThresholdFrac == 0 {
+		c.ECNThresholdFrac = 0.72
+	}
+	if c.QueryFanout == 0 {
+		c.QueryFanout = c.Leaves*c.HostsPerLeaf - 2
+		if c.QueryFanout > 16 {
+			c.QueryFanout = 16
+		}
+	}
+	if c.QueryInterval == 0 {
+		c.QueryInterval = 2 * sim.Millisecond
+	}
+	if c.Queries == 0 {
+		c.Queries = 15
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// leafBufferBytes sizes a leaf switch buffer from the per-port factor.
+func (c FabricConfig) leafBufferBytes() int {
+	ports := c.HostsPerLeaf + c.Spines
+	return int(c.BufferKBPerPortPerGbps * 1024 * float64(ports) * c.HostLinkBps / 1e9)
+}
+
+func (c FabricConfig) spineBufferBytes() int {
+	return int(c.BufferKBPerPortPerGbps * 1024 * float64(c.Leaves) * c.HostLinkBps / 1e9)
+}
+
+// FabricResult carries fabric-run metrics.
+type FabricResult struct {
+	Query metrics.Collector
+	Bg    metrics.Collector
+	// BufUtil / MemBWUtil are utilization samples taken at each drop
+	// (CollectUtil only).
+	BufUtil   []float64
+	MemBWUtil []float64
+	Timeouts  int64
+	Stats     switchsim.Stats // aggregated over all switches
+}
+
+// RunFabric executes one large-scale scenario.
+func RunFabric(cfg FabricConfig) *FabricResult {
+	cfg = cfg.withDefaults()
+	res := &FabricResult{}
+
+	mkSwitch := func(buffer int) switchsim.Config {
+		policy, occ := cfg.Spec.Make()
+		bdp := float64(8*cfg.LinkDelay.Seconds()) * cfg.HostLinkBps / 8
+		return switchsim.Config{
+			ClassesPerPort:    1,
+			BufferBytes:       buffer,
+			Policy:            policy,
+			Occamy:            occ,
+			ECNThresholdBytes: int(cfg.ECNThresholdFrac * bdp),
+		}
+	}
+	net := netsim.LeafSpine(netsim.LeafSpineConfig{
+		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: cfg.HostsPerLeaf,
+		HostLinkBps: cfg.HostLinkBps, SpineLinkBps: cfg.HostLinkBps,
+		LinkDelay:   cfg.LinkDelay,
+		LeafSwitch:  mkSwitch(cfg.leafBufferBytes()),
+		SpineSwitch: mkSwitch(cfg.spineBufferBytes()),
+		Seed:        cfg.Seed,
+	})
+	if cfg.CollectUtil {
+		for _, sw := range net.Switches {
+			sw := sw
+			sw.DropHook = func(p *pkt.Packet, q int, r switchsim.DropReason) {
+				if r == switchsim.DropExpelled {
+					return // Fig 7 measures utilization at loss events
+				}
+				res.BufUtil = append(res.BufUtil, sw.BufferUtilization())
+				res.MemBWUtil = append(res.MemBWUtil, sw.MemBandwidthUtilization())
+			}
+		}
+	}
+
+	hosts := make([]pkt.NodeID, cfg.Leaves*cfg.HostsPerLeaf)
+	for i := range hosts {
+		hosts[i] = pkt.NodeID(i)
+	}
+	// Cross-spine one-way base: 4 links of delay plus 4 serializations.
+	oneWay := 4*cfg.LinkDelay + 4*sim.Duration(float64(pkt.MTU*8)/cfg.HostLinkBps*float64(sim.Second))
+
+	horizon := sim.Duration(cfg.Queries)*cfg.QueryInterval + 10*sim.Millisecond
+	switch cfg.Bg {
+	case BgWebSearch:
+		if cfg.BgLoad > 0 {
+			bg := &workload.Background{
+				Net: net, Hosts: hosts, Load: cfg.BgLoad, LinkBps: cfg.HostLinkBps,
+				Dist: workload.WebSearch(), ECN: true,
+				Collector: &res.Bg, OneWayBase: oneWay,
+			}
+			bg.Start(0, horizon)
+			defer bg.Stop()
+		}
+	case BgAllToAll:
+		if cfg.BgLoad > 0 {
+			bg := &workload.AllToAll{
+				Net: net, Hosts: hosts, FlowSize: cfg.BgFlowSize,
+				Load: cfg.BgLoad, LinkBps: cfg.HostLinkBps, ECN: true,
+				Collector: &res.Bg, OneWayBase: oneWay,
+			}
+			bg.Start(0, horizon)
+			defer bg.Stop()
+		}
+	case BgAllReduce:
+		if cfg.BgLoad > 0 {
+			bg := &workload.AllReduce{
+				Net: net, Hosts: hosts, FlowSize: cfg.BgFlowSize,
+				Load: cfg.BgLoad, LinkBps: cfg.HostLinkBps, ECN: true,
+				Collector: &res.Bg, OneWayBase: oneWay,
+			}
+			bg.Start(0, horizon)
+			defer bg.Stop()
+		}
+	case BgNone:
+	}
+
+	var q *workload.Incast
+	if cfg.QuerySize > 0 {
+		q = &workload.Incast{
+			Net: net, Servers: hosts, RandomClient: true,
+			Fanout: cfg.QueryFanout, QuerySize: cfg.QuerySize,
+			Interval: cfg.QueryInterval, ECN: true,
+			Collector: &res.Query, LinkBps: cfg.HostLinkBps, OneWayBase: oneWay,
+		}
+		q.Start(2*sim.Millisecond, horizon)
+	}
+
+	deadline := horizon + 500*sim.Millisecond
+	for net.Eng.Now() < sim.Time(deadline) {
+		if q != nil && q.Done() >= int64(cfg.Queries) {
+			break
+		}
+		if q == nil && net.Eng.Now() >= sim.Time(horizon) {
+			break
+		}
+		net.Eng.RunFor(5 * sim.Millisecond)
+	}
+	if q != nil {
+		q.Stop()
+		res.Timeouts = q.Timeouts()
+	}
+	for _, sw := range net.Switches {
+		st := sw.Stats()
+		res.Stats.RxPackets += st.RxPackets
+		res.Stats.TxPackets += st.TxPackets
+		res.Stats.TxBytes += st.TxBytes
+		res.Stats.DropsAdmission += st.DropsAdmission
+		res.Stats.DropsNoMemory += st.DropsNoMemory
+		res.Stats.DropsExpelled += st.DropsExpelled
+		res.Stats.ECNMarked += st.ECNMarked
+	}
+	return res
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"occamy/internal/core"
+	"occamy/internal/metrics"
+	"occamy/internal/sim"
+)
+
+// FabricScale bounds the Fig 7/17–23 sweeps.
+type FabricScale struct {
+	Spines, Leaves, HostsPerLeaf int
+	Queries                      int
+	SizeFracs                    []float64 // query size as fraction of leaf buffer
+	FlowSizes                    []int64   // collective background flow sizes
+	QueryLoads                   []float64 // Fig 20 sweep
+	BufferFactors                []float64 // Fig 23 sweep (KB/port/Gbps)
+	Seed                         uint64
+}
+
+// QuickFabric is the test-scale configuration (8 hosts, 10G links).
+func QuickFabric() FabricScale {
+	return FabricScale{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+		Queries:       8,
+		SizeFracs:     []float64{0.4, 0.8},
+		FlowSizes:     []int64{64_000, 512_000},
+		QueryLoads:    []float64{0.1, 0.4},
+		BufferFactors: []float64{3.44, 9.6},
+		Seed:          7,
+	}
+}
+
+// PaperFabric approximates the paper's 128-host fabric (slow: use via
+// cmd/occamy-sim).
+func PaperFabric() FabricScale {
+	return FabricScale{
+		Spines: 8, Leaves: 8, HostsPerLeaf: 16,
+		Queries:       100,
+		SizeFracs:     []float64{0.2, 0.4, 0.6, 0.8, 1.0},
+		FlowSizes:     []int64{16_000, 32_000, 64_000, 128_000, 256_000, 512_000, 1_000_000, 2_000_000},
+		QueryLoads:    []float64{0.1, 0.2, 0.4, 0.6, 0.8},
+		BufferFactors: []float64{3.44, 5.12, 6.5, 8.0, 9.6},
+		Seed:          7,
+	}
+}
+
+func (sc FabricScale) base(spec PolicySpec) FabricConfig {
+	return FabricConfig{
+		Spec:   spec,
+		Spines: sc.Spines, Leaves: sc.Leaves, HostsPerLeaf: sc.HostsPerLeaf,
+		Queries: sc.Queries, Seed: sc.Seed,
+	}
+}
+
+// addSlowdownRow emits the standard 4-metric row the §6.4 figures share.
+func addSlowdownRow(t *Table, label, policy string, r *FabricResult) {
+	small := r.Bg.Small(100_000)
+	t.AddRow(label, policy,
+		F(r.Query.MeanSlowdown()), F(r.Query.P99Slowdown()),
+		F(r.Bg.MeanSlowdown()), F(small.P99Slowdown()))
+}
+
+var slowdownCols = []string{"x", "policy", "qct_avg_slow", "qct_p99_slow", "bg_avg_slow", "small_bg_p99_slow"}
+
+// Fig7Utilization: CDF of buffer utilization on drop for DT α ∈ {0.5,1}
+// (a), and of memory-bandwidth utilization at loads {20,40,90}% (b) —
+// the §3 motivation measurements.
+func Fig7Utilization(sc FabricScale) (bufT, bwT *Table) {
+	bufT = &Table{
+		ID:      "fig7a",
+		Title:   "buffer utilization on drop (CDF quantiles)",
+		Columns: []string{"alpha", "p25", "p50", "p75", "p99"},
+	}
+	quant := func(v []float64) []string {
+		qs := metrics.CDFQuantiles(v, 0.25, 0.5, 0.75, 0.99)
+		out := make([]string, len(qs))
+		for i, q := range qs {
+			out[i] = F(q.Value * 100)
+		}
+		return out
+	}
+	for _, alpha := range []float64{0.5, 1} {
+		cfg := sc.base(DTSpec(alpha))
+		cfg.Bg = BgWebSearch
+		cfg.BgLoad = 0.4
+		cfg.QuerySize = int64(0.6 * float64(cfg.withDefaults().leafBufferBytes()))
+		cfg.CollectUtil = true
+		r := RunFabric(cfg)
+		row := append([]string{F(alpha)}, quant(r.BufUtil)...)
+		bufT.AddRow(row...)
+	}
+	bwT = &Table{
+		ID:      "fig7b",
+		Title:   "memory bandwidth utilization on drop (CDF quantiles)",
+		Columns: []string{"load", "p25", "p50", "p75", "p99"},
+	}
+	for _, load := range []float64{0.2, 0.4, 0.9} {
+		cfg := sc.base(DTSpec(0.5))
+		cfg.Bg = BgWebSearch
+		cfg.BgLoad = load
+		cfg.QuerySize = int64(0.6 * float64(cfg.withDefaults().leafBufferBytes()))
+		cfg.CollectUtil = true
+		r := RunFabric(cfg)
+		row := append([]string{F(load)}, quant(r.MemBWUtil)...)
+		bwT.AddRow(row...)
+	}
+	return bufT, bwT
+}
+
+// Fig17LargeScale: web-search background at 90% + incast queries;
+// QCT/FCT slowdowns vs query size for the standard line-up.
+func Fig17LargeScale(sc FabricScale) *Table {
+	t := &Table{ID: "fig17", Title: "large-scale: slowdowns vs query size (bg web-search 90%)",
+		Columns: slowdownCols}
+	for _, frac := range sc.SizeFracs {
+		for _, spec := range StandardComparison() {
+			cfg := sc.base(spec)
+			cfg.Bg = BgWebSearch
+			cfg.BgLoad = 0.9
+			cfg.QuerySize = int64(frac * float64(cfg.withDefaults().leafBufferBytes()))
+			r := RunFabric(cfg)
+			addSlowdownRow(t, F(frac), spec.Name, r)
+		}
+	}
+	return t
+}
+
+// Fig18AllToAll: all-to-all background, sweeping the collective flow size.
+func Fig18AllToAll(sc FabricScale) *Table {
+	return collectiveFig("fig18", "all-to-all background", BgAllToAll, sc)
+}
+
+// Fig19AllReduce: double-binary-tree all-reduce background.
+func Fig19AllReduce(sc FabricScale) *Table {
+	return collectiveFig("fig19", "all-reduce (double binary tree) background", BgAllReduce, sc)
+}
+
+func collectiveFig(id, title string, kind BgKind, sc FabricScale) *Table {
+	t := &Table{ID: id, Title: title + ": slowdowns vs flow size", Columns: slowdownCols}
+	for _, fs := range sc.FlowSizes {
+		for _, spec := range StandardComparison() {
+			cfg := sc.base(spec)
+			cfg.Bg = kind
+			cfg.BgLoad = 0.5
+			cfg.BgFlowSize = fs
+			cfg.QuerySize = int64(0.6 * float64(cfg.withDefaults().leafBufferBytes()))
+			r := RunFabric(cfg)
+			addSlowdownRow(t, F(float64(fs)/1000), spec.Name, r)
+		}
+	}
+	return t
+}
+
+// Fig20QueryLoad: higher query rates (light 10% background).
+func Fig20QueryLoad(sc FabricScale) *Table {
+	t := &Table{ID: "fig20", Title: "higher query load: slowdowns vs query load",
+		Columns: slowdownCols}
+	for _, load := range sc.QueryLoads {
+		for _, spec := range StandardComparison() {
+			cfg := sc.base(spec)
+			cfg.Bg = BgWebSearch
+			cfg.BgLoad = 0.1
+			buf := float64(cfg.withDefaults().leafBufferBytes())
+			cfg.QuerySize = int64(0.8 * buf)
+			// Query load -> interval: load = size / (interval × link).
+			ivl := float64(cfg.QuerySize*8) / (load * cfg.withDefaults().HostLinkBps)
+			cfg.QueryInterval = secToDur(ivl)
+			r := RunFabric(cfg)
+			addSlowdownRow(t, F(load), spec.Name, r)
+		}
+	}
+	return t
+}
+
+// Fig21RoundRobinDrop: the ablation — Occamy's round-robin victim
+// selection versus always dropping the longest queue.
+func Fig21RoundRobinDrop(sc FabricScale) *Table {
+	t := &Table{ID: "fig21", Title: "round-robin vs longest-queue drop (bg 40%)",
+		Columns: slowdownCols}
+	for _, frac := range sc.SizeFracs {
+		for _, spec := range []PolicySpec{
+			OccamySpec(8, core.RoundRobin), OccamySpec(8, core.LongestQueue),
+		} {
+			cfg := sc.base(spec)
+			cfg.Bg = BgWebSearch
+			cfg.BgLoad = 0.4
+			cfg.QuerySize = int64(frac * float64(cfg.withDefaults().leafBufferBytes()))
+			r := RunFabric(cfg)
+			addSlowdownRow(t, F(frac), spec.Name, r)
+		}
+	}
+	return t
+}
+
+// Fig22HeavyLoad: background offered at 120% — expulsion must still find
+// redundant bandwidth on the unbalanced links.
+func Fig22HeavyLoad(sc FabricScale) *Table {
+	t := &Table{ID: "fig22", Title: "120% background load: slowdowns vs query size",
+		Columns: slowdownCols}
+	for _, frac := range sc.SizeFracs {
+		for _, spec := range StandardComparison() {
+			cfg := sc.base(spec)
+			cfg.Bg = BgWebSearch
+			cfg.BgLoad = 1.2
+			cfg.QuerySize = int64(frac * float64(cfg.withDefaults().leafBufferBytes()))
+			r := RunFabric(cfg)
+			addSlowdownRow(t, F(frac), spec.Name, r)
+		}
+	}
+	return t
+}
+
+// Fig23BufferSize: sweep the buffer per port per Gbps from Tofino-like
+// (3.44KB) to Trident2-like (9.6KB).
+func Fig23BufferSize(sc FabricScale) *Table {
+	t := &Table{ID: "fig23", Title: "buffer size sweep: slowdowns vs KB/port/Gbps",
+		Columns: slowdownCols}
+	for _, factor := range sc.BufferFactors {
+		for _, spec := range StandardComparison() {
+			cfg := sc.base(spec)
+			cfg.Bg = BgWebSearch
+			cfg.BgLoad = 0.4
+			cfg.BufferKBPerPortPerGbps = factor
+			cfg.QuerySize = int64(0.4 * float64(cfg.withDefaults().leafBufferBytes()))
+			r := RunFabric(cfg)
+			addSlowdownRow(t, F(factor), spec.Name, r)
+		}
+	}
+	return t
+}
+
+func secToDur(s float64) (d sim.Duration) {
+	return sim.Duration(s * float64(sim.Second))
+}

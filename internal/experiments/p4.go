@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+	"occamy/internal/trace"
+)
+
+// QueueTraceConfig builds the P4-testbed scenario of Fig 11/12 (and the
+// conceptual Fig 3): a switch whose port 0 carries long-lived congested
+// traffic and whose port 1 receives a later burst. Traffic is injected
+// raw (the Pktgen role) so queue dynamics reflect the BM alone.
+type QueueTraceConfig struct {
+	Spec PolicySpec
+	// BufferBytes is the shared buffer (default 1.2MB ≈ the P4 setup).
+	BufferBytes int
+	// PortRateBps is the two receiver ports' drain rate (default 10G).
+	PortRateBps float64
+	// ChipPorts is the total port count of the chip — unused ports
+	// still contribute memory bandwidth (default 8, the Tofino pipe's
+	// front-panel group in our scale-down).
+	ChipPorts int
+	// LongRateBps is the long-lived traffic's arrival rate (default 2×
+	// port rate, keeping queue 0 pinned at its threshold).
+	LongRateBps float64
+	// BurstRateBps is the burst arrival rate (default 100G).
+	BurstRateBps float64
+	// BurstBytes is the burst volume.
+	BurstBytes int64
+	// BurstAt is when the burst starts (default 200µs, letting queue 0
+	// reach steady state).
+	BurstAt sim.Duration
+	// RunFor is the total simulated time (default BurstAt + 300µs).
+	RunFor sim.Duration
+	// SampleEvery enables queue-length tracing at this period (0: off).
+	SampleEvery sim.Duration
+	// PktSize is the injected packet size (default 1000B).
+	PktSize int
+}
+
+func (c QueueTraceConfig) withDefaults() QueueTraceConfig {
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 1_200_000
+	}
+	if c.PortRateBps == 0 {
+		c.PortRateBps = 10e9
+	}
+	if c.ChipPorts < 2 {
+		c.ChipPorts = 8
+	}
+	if c.LongRateBps == 0 {
+		c.LongRateBps = 2 * c.PortRateBps
+	}
+	if c.BurstRateBps == 0 {
+		c.BurstRateBps = 100e9
+	}
+	if c.BurstAt == 0 {
+		// The long-lived queue fills at LongRate−PortRate net; its
+		// steady-state length approaches α/(1+α)·B <= B. Give it time to
+		// get there before the burst (the Fig 11/12 premise).
+		fill := float64(c.BufferBytes) * 8 / (c.LongRateBps - c.PortRateBps)
+		c.BurstAt = sim.Duration(1.3 * fill * float64(sim.Second))
+	}
+	if c.RunFor == 0 {
+		burstDur := sim.Duration(float64(c.BurstBytes*8) / c.BurstRateBps * float64(sim.Second))
+		c.RunFor = c.BurstAt + burstDur + 300*sim.Microsecond
+	}
+	if c.PktSize == 0 {
+		c.PktSize = 1000
+	}
+	return c
+}
+
+// TracePoint is one sample of the Fig 3/11 time series.
+type TracePoint struct {
+	At        sim.Time
+	LongLen   int // q1(t): long-lived queue
+	BurstLen  int // q2(t): bursty queue
+	Threshold int // T(t) for the burst queue
+}
+
+// QueueTraceResult carries the trace and the burst-loss accounting.
+type QueueTraceResult struct {
+	Trace       []TracePoint
+	BurstSent   int64
+	BurstDrops  int64 // admission + expulsion losses of burst traffic
+	LongDrops   int64
+	Expelled    int64 // total head-dropped packets (any queue)
+	MaxBurstLen int
+}
+
+// LossRate returns the burst traffic's loss fraction (Fig 12's y-axis).
+func (r QueueTraceResult) LossRate() float64 {
+	if r.BurstSent == 0 {
+		return 0
+	}
+	return float64(r.BurstDrops) / float64(r.BurstSent)
+}
+
+// RunQueueTrace executes the scenario.
+func RunQueueTrace(cfg QueueTraceConfig) QueueTraceResult {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	policy, occ := cfg.Spec.Make()
+	sw := switchsim.New("p4", eng, switchsim.Config{
+		Ports:          cfg.ChipPorts,
+		ClassesPerPort: 1,
+		BufferBytes:    cfg.BufferBytes,
+		Policy:         policy,
+		Occamy:         occ,
+	})
+	for i := 0; i < cfg.ChipPorts; i++ {
+		sw.AttachPort(i, cfg.PortRateBps, 0, func(*pkt.Packet) {})
+	}
+	sw.SetRouter(func(p *pkt.Packet) int { return int(p.Dst) })
+
+	var res QueueTraceResult
+	const longFlow, burstFlow = 1, 2
+	sw.DropHook = func(p *pkt.Packet, q int, reason switchsim.DropReason) {
+		switch p.FlowID {
+		case burstFlow:
+			res.BurstDrops++
+		case longFlow:
+			res.LongDrops++
+		}
+	}
+
+	long := &Injector{Eng: eng, Sw: sw, Dst: 0, PktSize: cfg.PktSize, FlowID: longFlow}
+	long.StartCBR(0, cfg.LongRateBps)
+	burst := &Injector{Eng: eng, Sw: sw, Dst: 1, PktSize: cfg.PktSize, FlowID: burstFlow}
+	burst.Burst(cfg.BurstAt, cfg.BurstBytes, cfg.BurstRateBps)
+
+	if cfg.SampleEvery > 0 {
+		eng.Every(0, cfg.SampleEvery, func() {
+			res.Trace = append(res.Trace, TracePoint{
+				At:        eng.Now(),
+				LongLen:   sw.QueueLen(0),
+				BurstLen:  sw.QueueLen(1),
+				Threshold: sw.Threshold(1),
+			})
+			if sw.QueueLen(1) > res.MaxBurstLen {
+				res.MaxBurstLen = sw.QueueLen(1)
+			}
+		})
+	}
+	eng.RunUntil(cfg.RunFor)
+	long.Stop()
+	eng.Stop()
+
+	res.BurstSent = burst.Sent
+	res.Expelled = sw.Stats().DropsExpelled
+	if res.MaxBurstLen == 0 {
+		res.MaxBurstLen = sw.QueueLen(1)
+	}
+	return res
+}
+
+// Fig3DTBehavior reproduces the healthy vs anomalous DT dynamics of
+// Fig 3: with a gentle burst DT converges to fair sharing; with a fast
+// burst the over-allocated queue cannot release buffer in time and the
+// burst drops packets before reaching its fair share.
+func Fig3DTBehavior() *Table {
+	t := &Table{
+		ID:      "fig3",
+		Title:   "DT healthy vs anomalous dynamics (burst drops before reaching fair share?)",
+		Columns: []string{"case", "burst_rate", "burst_drops", "max_burst_qlen_KB", "fair_share_KB"},
+	}
+	base := QueueTraceConfig{
+		Spec:        DTSpec(1),
+		BurstBytes:  600_000,
+		SampleEvery: 2 * sim.Microsecond,
+	}
+	// Fair share with α=1 and two congested queues: B/3.
+	fair := 1_200_000 / 3
+	for _, c := range []struct {
+		name string
+		rate float64
+	}{
+		{"healthy(1.5x)", 15e9},
+		{"anomalous(10x)", 100e9},
+	} {
+		cfg := base
+		cfg.BurstRateBps = c.rate
+		r := RunQueueTrace(cfg)
+		t.AddRow(c.name, F(c.rate/1e9), fmt.Sprint(r.BurstDrops),
+			F(float64(r.MaxBurstLen)/1000), F(float64(fair)/1000))
+	}
+	return t
+}
+
+// Fig11QueueEvolution reproduces the queue-length evolution traces:
+// Occamy vs DT at α ∈ {1,4}. Rows are downsampled trace points.
+func Fig11QueueEvolution(sampleEvery sim.Duration) []*Table {
+	if sampleEvery == 0 {
+		sampleEvery = 10 * sim.Microsecond
+	}
+	var out []*Table
+	for _, spec := range []PolicySpec{
+		OccamySpec(1, 0), OccamySpec(4, 0), DTSpec(1), DTSpec(4),
+	} {
+		cfg := QueueTraceConfig{
+			Spec:        spec,
+			BurstBytes:  800_000,
+			SampleEvery: sampleEvery,
+		}
+		r := RunQueueTrace(cfg)
+		t := &Table{
+			ID:      "fig11/" + spec.Name,
+			Title:   "queue length evolution (KB)",
+			Columns: []string{"t_us", "q1_long", "q2_burst", "T"},
+		}
+		for _, p := range r.Trace {
+			t.AddRow(F(p.At.Micros()), F(float64(p.LongLen)/1000),
+				F(float64(p.BurstLen)/1000), F(float64(p.Threshold)/1000))
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig11Sparklines renders the four Fig 11 queue-evolution traces as
+// ASCII plots (terminal-friendly "figures"): the long-lived queue, the
+// burst queue, and the DT threshold on a shared scale per policy.
+func Fig11Sparklines(sampleEvery sim.Duration, width int) string {
+	if sampleEvery == 0 {
+		sampleEvery = 5 * sim.Microsecond
+	}
+	if width == 0 {
+		width = 72
+	}
+	var b strings.Builder
+	for _, spec := range []PolicySpec{
+		OccamySpec(1, 0), OccamySpec(4, 0), DTSpec(1), DTSpec(4),
+	} {
+		r := RunQueueTrace(QueueTraceConfig{
+			Spec:        spec,
+			BurstBytes:  800_000,
+			SampleEvery: sampleEvery,
+		})
+		long := make([]float64, len(r.Trace))
+		burst := make([]float64, len(r.Trace))
+		thr := make([]float64, len(r.Trace))
+		for i, p := range r.Trace {
+			long[i] = float64(p.LongLen)
+			burst[i] = float64(p.BurstLen)
+			thr[i] = float64(p.Threshold)
+			// Clamp the plotted threshold to the buffer so the early
+			// near-empty-buffer spike does not flatten the curves.
+			if thr[i] > 1_200_000 {
+				thr[i] = 1_200_000
+			}
+		}
+		fmt.Fprintf(&b, "%s (burst drops %d, expelled %d)\n", spec.Name, r.BurstDrops, r.Expelled)
+		b.WriteString(trace.Plot([]trace.Series{
+			{Name: "q1_long", Values: long},
+			{Name: "q2_burst", Values: burst},
+			{Name: "T(t)", Values: thr},
+		}, width))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig12BurstAbsorption reproduces the burst-loss-rate sweep: burst sizes
+// 300–800KB for α ∈ {1,2,4}, Occamy vs DT.
+func Fig12BurstAbsorption() *Table {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "burst loss rate vs burst size",
+		Columns: []string{"alpha", "burst_KB", "occamy_loss", "dt_loss"},
+	}
+	for _, alpha := range []float64{1, 2, 4} {
+		for size := int64(300_000); size <= 800_000; size += 100_000 {
+			occ := RunQueueTrace(QueueTraceConfig{Spec: OccamySpec(alpha, 0), BurstBytes: size})
+			dt := RunQueueTrace(QueueTraceConfig{Spec: DTSpec(alpha), BurstBytes: size})
+			t.AddRow(F(alpha), F(float64(size)/1000), F(occ.LossRate()), F(dt.LossRate()))
+		}
+	}
+	return t
+}
+
+// MaxLosslessBurst searches (by bisection over the sweep grid) for the
+// largest burst a policy absorbs without loss — the burst-absorption
+// headline (§6.1's "57% more").
+func MaxLosslessBurst(spec PolicySpec, lo, hi, step int64) int64 {
+	best := int64(0)
+	for size := lo; size <= hi; size += step {
+		r := RunQueueTrace(QueueTraceConfig{Spec: spec, BurstBytes: size})
+		if r.BurstDrops == 0 {
+			best = size
+		}
+	}
+	return best
+}
+
+// Table1HardwareCost re-exports the hw cost model in table form.
+func Table1HardwareCost(nQueues, qlenBits int) *Table {
+	t := &Table{
+		ID:      "table1",
+		Title:   fmt.Sprintf("hardware cost (%d queues, %d-bit lengths)", nQueues, qlenBits),
+		Columns: []string{"module", "LUTs", "FFs", "timing_ns", "area_mm2", "power_mW"},
+	}
+	for _, c := range hwTable1(nQueues, qlenBits) {
+		t.AddRow(c.Module, fmt.Sprint(c.LUTs), fmt.Sprint(c.FlipFlops),
+			F(c.TimingNs), fmt.Sprintf("%.5f", c.AreaMM2), F(c.PowerMW))
+	}
+	return t
+}

@@ -1,0 +1,10 @@
+package experiments
+
+import "occamy/internal/hw"
+
+// hwTable1 bridges to the hw cost model (kept in a tiny file so the
+// experiment surface stays in one package).
+func hwTable1(nQueues, qlenBits int) []hw.Cost {
+	rows := hw.Table1(nQueues, qlenBits)
+	return append(rows, hw.TotalCost(rows))
+}

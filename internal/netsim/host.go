@@ -1,0 +1,143 @@
+// Package netsim assembles hosts, links, and switches into the networks
+// the paper evaluates: the single-switch testbed scenarios and the
+// 128-host leaf–spine fabric with ECMP.
+package netsim
+
+import (
+	"fmt"
+
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/transport"
+)
+
+// Host is an end node: a NIC that serializes outgoing packets at link
+// rate and dispatches incoming packets to per-flow transport handlers.
+// It implements transport.Net.
+type Host struct {
+	ID  pkt.NodeID
+	eng *sim.Engine
+
+	rateBps float64
+	prop    sim.Duration
+	sink    func(*pkt.Packet) // toward the first-hop switch
+
+	// The NIC serves strict-priority transmit queues (priority 0
+	// first), mirroring the multi-queue hosts of the paper's testbed.
+	txq      [maxHostPrios]fifoPkt
+	busy     bool
+	handlers map[uint64]transport.Handler
+}
+
+// maxHostPrios bounds the per-host priority classes.
+const maxHostPrios = 8
+
+// NewHost builds a host; Wire must attach it to a switch before traffic.
+func NewHost(eng *sim.Engine, id pkt.NodeID) *Host {
+	return &Host{ID: id, eng: eng, handlers: make(map[uint64]transport.Handler)}
+}
+
+// Wire attaches the host's NIC to its first-hop link.
+func (h *Host) Wire(rateBps float64, prop sim.Duration, sink func(*pkt.Packet)) {
+	if rateBps <= 0 {
+		panic("netsim: NIC rate must be positive")
+	}
+	h.rateBps = rateBps
+	h.prop = prop
+	h.sink = sink
+}
+
+// Now implements transport.Net.
+func (h *Host) Now() sim.Time { return h.eng.Now() }
+
+// After implements transport.Net.
+func (h *Host) After(d sim.Duration, fn func()) { h.eng.After(d, fn) }
+
+// AfterTimer implements transport.Net.
+func (h *Host) AfterTimer(d sim.Duration, fn func()) *sim.Timer {
+	return h.eng.AfterTimer(d, fn)
+}
+
+// Send implements transport.Net: enqueue on the NIC and serialize.
+func (h *Host) Send(p *pkt.Packet) {
+	if h.sink == nil {
+		panic(fmt.Sprintf("netsim: host %d not wired", h.ID))
+	}
+	prio := p.Priority
+	if prio < 0 {
+		prio = 0
+	}
+	if prio >= maxHostPrios {
+		prio = maxHostPrios - 1
+	}
+	h.txq[prio].push(p)
+	h.trySend()
+}
+
+func (h *Host) trySend() {
+	if h.busy {
+		return
+	}
+	q := -1
+	for i := range h.txq {
+		if h.txq[i].len() > 0 {
+			q = i
+			break
+		}
+	}
+	if q < 0 {
+		return
+	}
+	p := h.txq[q].pop()
+	tx := sim.Duration(float64(p.Size*8) / h.rateBps * float64(sim.Second))
+	if tx < 1 {
+		tx = 1
+	}
+	h.busy = true
+	h.eng.After(tx, func() {
+		h.busy = false
+		h.trySend()
+	})
+	h.eng.After(tx+h.prop, func() { h.sink(p) })
+}
+
+// Deliver hands an arriving packet to the flow's registered handler.
+// Packets for unknown flows are dropped silently (late retransmissions
+// of completed flows).
+func (h *Host) Deliver(p *pkt.Packet) {
+	if hd := h.handlers[p.FlowID]; hd != nil {
+		hd.OnPacket(p)
+	}
+}
+
+// Register installs the handler for a flow ID.
+func (h *Host) Register(flowID uint64, hd transport.Handler) {
+	h.handlers[flowID] = hd
+}
+
+// Unregister removes a completed flow's handler.
+func (h *Host) Unregister(flowID uint64) { delete(h.handlers, flowID) }
+
+var _ transport.Net = (*Host)(nil)
+
+// fifoPkt is a slice-backed packet queue (same shape as switchsim's).
+type fifoPkt struct {
+	buf  []*pkt.Packet
+	head int
+}
+
+func (f *fifoPkt) len() int { return len(f.buf) - f.head }
+
+func (f *fifoPkt) push(p *pkt.Packet) { f.buf = append(f.buf, p) }
+
+func (f *fifoPkt) pop() *pkt.Packet {
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return p
+}

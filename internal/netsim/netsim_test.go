@@ -1,0 +1,240 @@
+package netsim
+
+import (
+	"testing"
+
+	"occamy/internal/bm"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+	"occamy/internal/transport"
+)
+
+func starNet(hosts int, rate float64, alpha float64, bufBytes int) *Network {
+	rates := make([]float64, hosts)
+	for i := range rates {
+		rates[i] = rate
+	}
+	return SingleSwitch(SingleSwitchConfig{
+		HostRates: rates,
+		LinkDelay: 5 * sim.Microsecond,
+		Switch: switchsim.Config{
+			ClassesPerPort:    1,
+			BufferBytes:       bufBytes,
+			Policy:            bm.NewDT(alpha),
+			ECNThresholdBytes: bufBytes / 6, // DCTCP-style marking
+		},
+		Seed: 1,
+	})
+}
+
+func TestSingleFlowOverStar(t *testing.T) {
+	net := starNet(2, 10e9, 8, 1<<20)
+	var fct sim.Duration = -1
+	net.StartFlow(0, 0, 1, 1_000_000, FlowOptions{
+		ECN:        true,
+		OnComplete: func(d sim.Duration) { fct = d },
+	})
+	net.Eng.RunUntil(sim.Second)
+	if fct < 0 {
+		t.Fatal("flow did not complete")
+	}
+	// 1MB at 10Gbps ≈ 800µs + header overhead + RTT; allow 2x.
+	if fct > 2*sim.Millisecond {
+		t.Fatalf("fct = %v, want ~1ms", fct)
+	}
+	st := net.Switches[0].Stats()
+	if st.Drops() != 0 {
+		t.Fatalf("lossless single flow dropped %d packets", st.Drops())
+	}
+}
+
+func TestTwoFlowsShareBottleneckFairly(t *testing.T) {
+	// Hosts 0 and 1 both send long flows to host 2: in steady state
+	// DCTCP+DT must split the shared egress roughly evenly. (Short
+	// synchronized bursts are legitimately unfair — slow-start races and
+	// tail-loss RTOs — so fairness is asserted on long-run throughput.)
+	net := starNet(3, 10e9, 1, 200_000)
+	h := [2]*FlowHandle{}
+	for i := 0; i < 2; i++ {
+		h[i] = net.StartFlow(0, pkt.NodeID(i), 2, 50_000_000, FlowOptions{ECN: true})
+	}
+	// Skip the slow-start race (which can cost one flow an RTO), then
+	// measure goodput over a steady-state window.
+	net.Eng.RunUntil(10 * sim.Millisecond)
+	s0, s1 := h[0].Receiver.Received(), h[1].Receiver.Received()
+	net.Eng.RunUntil(30 * sim.Millisecond)
+	r0 := h[0].Receiver.Received() - s0
+	r1 := h[1].Receiver.Received() - s1
+	if r0 == 0 || r1 == 0 {
+		t.Fatalf("a flow is stalled: %d vs %d bytes", r0, r1)
+	}
+	ratio := float64(r0) / float64(r1)
+	if ratio < 0.65 || ratio > 1.55 {
+		t.Fatalf("steady-state throughput ratio = %v (%d vs %d bytes), want ~1", ratio, r0, r1)
+	}
+	// Aggregate goodput should be near the 10G bottleneck: >=70%.
+	total := float64(r0+r1) * 8 / 0.020
+	if total < 0.7*10e9 {
+		t.Fatalf("aggregate goodput %.2fGbps, want >7Gbps", total/1e9)
+	}
+}
+
+func TestLeafSpineAllPairsReachable(t *testing.T) {
+	cfg := LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 2,
+		HostLinkBps: 10e9, SpineLinkBps: 10e9,
+		LinkDelay: 5 * sim.Microsecond,
+		LeafSwitch: switchsim.Config{
+			ClassesPerPort: 1, BufferBytes: 1 << 20, Policy: bm.NewDT(8),
+		},
+		SpineSwitch: switchsim.Config{
+			ClassesPerPort: 1, BufferBytes: 1 << 20, Policy: bm.NewDT(8),
+		},
+		Seed: 1,
+	}
+	net := LeafSpine(cfg)
+	n := cfg.NumHosts()
+	completed := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			net.StartFlow(0, pkt.NodeID(s), pkt.NodeID(d), 50_000, FlowOptions{
+				ECN:        true,
+				OnComplete: func(sim.Duration) { completed++ },
+			})
+		}
+	}
+	net.Eng.RunUntil(sim.Second)
+	want := n * (n - 1)
+	if completed != want {
+		t.Fatalf("completed %d/%d all-pairs flows", completed, want)
+	}
+}
+
+func TestLeafSpineCrossLeafLatency(t *testing.T) {
+	cfg := LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 1,
+		HostLinkBps: 100e9, SpineLinkBps: 100e9,
+		LinkDelay: 10 * sim.Microsecond,
+		LeafSwitch: switchsim.Config{
+			ClassesPerPort: 1, BufferBytes: 1 << 20, Policy: bm.NewDT(8),
+		},
+		SpineSwitch: switchsim.Config{
+			ClassesPerPort: 1, BufferBytes: 1 << 20, Policy: bm.NewDT(8),
+		},
+	}
+	net := LeafSpine(cfg)
+	var fct sim.Duration
+	// One MSS measured at the receiver: the one-way path is 4 links ×
+	// 10µs plus serialization at each of the 4 hops — half the paper's
+	// 80µs base RTT.
+	net.StartFlow(0, 0, 1, pkt.MSS, FlowOptions{
+		ECN:        true,
+		OnComplete: func(d sim.Duration) { fct = d },
+	})
+	net.Eng.RunUntil(10 * sim.Millisecond)
+	if fct == 0 {
+		t.Fatal("flow did not complete")
+	}
+	if fct < 40*sim.Microsecond || fct > 60*sim.Microsecond {
+		t.Fatalf("1-MSS FCT = %v, want ~40-50µs (half base RTT)", fct)
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	cfg := LeafSpineConfig{
+		Spines: 4, Leaves: 2, HostsPerLeaf: 4,
+		HostLinkBps: 10e9, SpineLinkBps: 10e9,
+		LinkDelay: sim.Microsecond,
+		LeafSwitch: switchsim.Config{
+			ClassesPerPort: 1, BufferBytes: 1 << 20, Policy: bm.NewDT(8),
+		},
+		SpineSwitch: switchsim.Config{
+			ClassesPerPort: 1, BufferBytes: 1 << 20, Policy: bm.NewDT(8),
+		},
+	}
+	net := LeafSpine(cfg)
+	for i := 0; i < 64; i++ {
+		net.StartFlow(0, 0, 4, 10_000, FlowOptions{ECN: true}) // cross-leaf
+	}
+	net.Eng.RunUntil(100 * sim.Millisecond)
+	// Every spine should have forwarded something.
+	for s := 0; s < cfg.Spines; s++ {
+		if Spine(net, cfg, s).Stats().TxPackets == 0 {
+			t.Fatalf("spine %d received no traffic: ECMP not spreading", s)
+		}
+	}
+}
+
+func TestHostNICSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, 0)
+	var arrivals []sim.Time
+	h.Wire(1e9, 0, func(p *pkt.Packet) { arrivals = append(arrivals, eng.Now()) })
+	for i := 0; i < 3; i++ {
+		h.Send(&pkt.Packet{ID: uint64(i + 1), Size: 1250})
+	}
+	eng.Run()
+	// 1250B at 1Gbps = 10µs each, serialized.
+	want := []sim.Time{10 * sim.Microsecond, 20 * sim.Microsecond, 30 * sim.Microsecond}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", arrivals, want)
+		}
+	}
+}
+
+func TestUnknownFlowDeliveryIgnored(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, 0)
+	h.Deliver(&pkt.Packet{FlowID: 999}) // must not panic
+}
+
+func TestStartFlowPanicsOnSelfFlow(t *testing.T) {
+	net := starNet(2, 1e9, 1, 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Error("self-flow did not panic")
+		}
+	}()
+	net.StartFlow(0, 1, 1, 100, FlowOptions{})
+}
+
+var _ transport.Net = (*Host)(nil)
+
+// ECMP must be per-flow consistent: all packets of one flow take the
+// same spine (no reordering from path churn).
+func TestECMPPerFlowConsistency(t *testing.T) {
+	cfg := LeafSpineConfig{
+		Spines: 4, Leaves: 2, HostsPerLeaf: 2,
+		HostLinkBps: 10e9, SpineLinkBps: 10e9,
+		LinkDelay: sim.Microsecond,
+		LeafSwitch: switchsim.Config{
+			ClassesPerPort: 1, BufferBytes: 1 << 20, Policy: bm.NewDT(8),
+		},
+		SpineSwitch: switchsim.Config{
+			ClassesPerPort: 1, BufferBytes: 1 << 20, Policy: bm.NewDT(8),
+		},
+	}
+	net := LeafSpine(cfg)
+	// One big flow; count which spines forward its data packets.
+	h := net.StartFlow(0, 0, 2, 400_000, FlowOptions{ECN: true})
+	net.Eng.RunUntil(100 * sim.Millisecond)
+	if !h.Receiver.Done() {
+		t.Fatal("flow did not complete")
+	}
+	used := 0
+	for s := 0; s < cfg.Spines; s++ {
+		if Spine(net, cfg, s).Stats().TxPackets > 0 {
+			used++
+		}
+	}
+	// Data takes one spine, the reverse ACK flow shares the same flow ID
+	// and hash: still one spine.
+	if used != 1 {
+		t.Fatalf("flow used %d spines, want 1 (per-flow ECMP)", used)
+	}
+}

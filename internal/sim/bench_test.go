@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event-processing rate — the
+// budget every simulation spends.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		if e.Pending() > 1024 {
+			e.RunFor(2048)
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineTimerChurn measures the arm/cancel pattern the
+// transport RTO path generates.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := e.AfterTimer(1000, func() {})
+		t.Stop()
+		if e.Pending() > 1024 {
+			e.RunFor(10)
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRandExp(b *testing.B) {
+	r := NewRand(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(1)
+	}
+	_ = sink
+}

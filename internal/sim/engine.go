@@ -1,0 +1,244 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulators in this repository (the shared-memory switch model, the
+// transport stack, and the network-level experiments) are driven by a
+// single Engine: a virtual clock plus a binary-heap event queue. Events
+// scheduled for the same instant fire in scheduling order, which makes
+// every run bit-for-bit reproducible given the same seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Handy duration units, mirroring time.Nanosecond etc. for virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+// event is a scheduled callback. seq breaks ties so that events at the
+// same timestamp run in FIFO scheduling order.
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	cancel *bool // non-nil when the event is cancelable
+	index  int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; simulations are deterministic single-goroutine
+// programs by design.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled events that have not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Processed returns the total number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: that is always a simulation bug, not a recoverable state.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", int64(d)))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Timer is a cancelable scheduled event.
+type Timer struct {
+	canceled *bool
+	at       Time
+}
+
+// Stop cancels the timer. It is safe to call Stop multiple times and
+// after the timer has fired (in which case it has no effect). It reports
+// whether the call prevented the timer from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.canceled == nil || *t.canceled {
+		return false
+	}
+	*t.canceled = true
+	return true
+}
+
+// Deadline returns the virtual time at which the timer fires.
+func (t *Timer) Deadline() Time { return t.at }
+
+// AfterTimer schedules fn after d and returns a handle that can cancel it.
+func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", int64(d)))
+	}
+	canceled := new(bool)
+	at := e.now + d
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn, cancel: canceled})
+	return &Timer{canceled: canceled, at: at}
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the earliest pending event. It reports false when the
+// queue is empty or the engine was stopped.
+func (e *Engine) step(limit Time) bool {
+	if e.stopped || len(e.events) == 0 {
+		return false
+	}
+	next := e.events[0]
+	if next.at > limit {
+		return false
+	}
+	heap.Pop(&e.events)
+	e.now = next.at
+	if next.cancel != nil {
+		if *next.cancel {
+			return true // canceled timer: consume silently
+		}
+		*next.cancel = true // fired: a later Stop must report false
+	}
+	e.processed++
+	next.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.step(MaxTime) {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t (even if no event lands there).
+func (e *Engine) RunUntil(t Time) {
+	for e.step(t) {
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + d) }
+
+// Every schedules fn at t, t+period, t+2*period, ... until the returned
+// Ticker is stopped. fn runs before the next occurrence is scheduled.
+type Ticker struct {
+	stopped bool
+}
+
+// Stop halts the ticker after the current occurrence (if any) completes.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Every starts a periodic event with the given start offset and period.
+func (e *Engine) Every(start Duration, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	tk := &Ticker{}
+	var tick func()
+	tick = func() {
+		if tk.stopped {
+			return
+		}
+		fn()
+		if !tk.stopped {
+			e.After(period, tick)
+		}
+	}
+	e.After(start, tick)
+	return tk
+}

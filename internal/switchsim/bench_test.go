@@ -1,0 +1,46 @@
+package switchsim
+
+import (
+	"testing"
+
+	"occamy/internal/bm"
+	"occamy/internal/core"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+)
+
+// benchSwitch forwards b.N packets through one port and reports the
+// packets-per-second the simulator core sustains.
+func benchSwitch(b *testing.B, policy bm.Policy, occ *core.Config) {
+	eng := sim.NewEngine()
+	sw := New("bench", eng, Config{
+		Ports: 4, ClassesPerPort: 2, BufferBytes: 1 << 20,
+		Policy: policy, Occamy: occ, Scheduler: SchedDRR,
+	})
+	for i := 0; i < 4; i++ {
+		sw.AttachPort(i, 100e9, 0, func(*pkt.Packet) {})
+	}
+	sw.SetRouter(func(p *pkt.Packet) int { return int(p.Dst) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Receive(&pkt.Packet{
+			ID: uint64(i + 1), Dst: pkt.NodeID(i & 3), Size: 1000, Priority: i & 1,
+		})
+		if i&1023 == 0 {
+			eng.RunFor(100 * sim.Microsecond)
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkSwitchForwardDT(b *testing.B) { benchSwitch(b, bm.NewDT(1), nil) }
+
+func BenchmarkSwitchForwardABM(b *testing.B) { benchSwitch(b, bm.NewABM(2), nil) }
+
+func BenchmarkSwitchForwardOccamy(b *testing.B) {
+	cfg := core.Config{Alpha: 8}
+	benchSwitch(b, core.New(cfg), &cfg)
+}
+
+func BenchmarkSwitchForwardPushout(b *testing.B) { benchSwitch(b, core.NewPushout(), nil) }

@@ -1,0 +1,28 @@
+package switchsim
+
+// fifo is a slice-backed queue with amortized O(1) operations; it holds
+// the packet metadata that travels in lockstep with the cellmem PD list.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (f *fifo[T]) len() int { return len(f.buf) - f.head }
+
+func (f *fifo[T]) push(v T) { f.buf = append(f.buf, v) }
+
+func (f *fifo[T]) peek() T { return f.buf[f.head] }
+
+func (f *fifo[T]) pop() T {
+	v := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero // release for GC
+	f.head++
+	// Compact once the dead prefix dominates.
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return v
+}

@@ -1,0 +1,39 @@
+package switchsim
+
+import (
+	"math"
+
+	"occamy/internal/sim"
+)
+
+// rateMeter estimates an event rate (bytes/sec or cells/sec) from
+// irregular impulses using an exponentially weighted kernel: each sample
+// of n units contributes n/τ to the rate and decays with time constant τ.
+type rateMeter struct {
+	tau  float64 // seconds
+	val  float64 // current rate estimate
+	last sim.Time
+}
+
+func newRateMeter(tau sim.Duration) *rateMeter {
+	return &rateMeter{tau: tau.Seconds()}
+}
+
+func (m *rateMeter) decayTo(now sim.Time) {
+	if now > m.last {
+		m.val *= math.Exp(-(now - m.last).Seconds() / m.tau)
+		m.last = now
+	}
+}
+
+// add records n units at time now.
+func (m *rateMeter) add(now sim.Time, n int) {
+	m.decayTo(now)
+	m.val += float64(n) / m.tau
+}
+
+// rate returns the estimated rate in units/second at time now.
+func (m *rateMeter) rate(now sim.Time) float64 {
+	m.decayTo(now)
+	return m.val
+}

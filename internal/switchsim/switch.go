@@ -1,0 +1,447 @@
+// Package switchsim models an on-chip shared-memory switch: a traffic
+// manager with a cell-structured shared buffer (internal/cellmem),
+// pluggable buffer management (internal/bm, internal/core), per-port
+// egress schedulers, and ECN marking. It is the substrate for every
+// experiment in the paper: the P4/Tofino prototype scenarios, the DPDK
+// software switch, and the switches inside the leaf–spine simulations.
+package switchsim
+
+import (
+	"fmt"
+
+	"occamy/internal/bm"
+	"occamy/internal/cellmem"
+	"occamy/internal/core"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+)
+
+// DropReason classifies packet losses for the statistics hooks.
+type DropReason int
+
+const (
+	// DropAdmission: the BM policy rejected the arriving packet.
+	DropAdmission DropReason = iota
+	// DropNoMemory: the policy admitted it but the cell pool was
+	// physically exhausted (cell-rounding slack).
+	DropNoMemory
+	// DropExpelled: a preemptive policy head-dropped a buffered packet.
+	DropExpelled
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropAdmission:
+		return "admission"
+	case DropNoMemory:
+		return "nomem"
+	default:
+		return "expelled"
+	}
+}
+
+// Router maps an arriving packet to its egress port. The traffic class
+// (queue within the port) is the packet's Priority field.
+type Router func(p *pkt.Packet) (port int)
+
+// Config describes a switch.
+type Config struct {
+	// Ports is the number of egress ports.
+	Ports int
+	// ClassesPerPort is the number of traffic-class queues per port.
+	ClassesPerPort int
+	// BufferBytes is the shared buffer capacity. The cell pool is sized
+	// as BufferBytes/CellBytes cells.
+	BufferBytes int
+	// CellBytes is the buffer cell size; 0 defaults to 200 (the paper's
+	// prototypes).
+	CellBytes int
+	// Policy is the admission policy (DT, ABM, Occamy, Pushout, ...).
+	Policy bm.Policy
+	// Occamy, when non-nil, enables the reactive expulsion engine with
+	// this configuration. TokenRate 0 is replaced by the switch's
+	// aggregate memory bandwidth in cells/second.
+	Occamy *core.Config
+	// ECNThresholdBytes enables ECN marking when a queue exceeds this
+	// length at enqueue. 0 disables marking.
+	ECNThresholdBytes int
+	// Scheduler selects the per-port discipline across classes.
+	Scheduler SchedKind
+	// DRRQuantum is the DRR credit per visit; 0 defaults to 2×1514.
+	DRRQuantum int
+}
+
+// Stats aggregates switch-level counters.
+type Stats struct {
+	RxPackets      int64
+	TxPackets      int64
+	TxBytes        int64
+	DropsAdmission int64
+	DropsNoMemory  int64
+	DropsExpelled  int64
+	ECNMarked      int64
+}
+
+// Drops returns total losses of arriving packets (not expulsions).
+func (s Stats) Drops() int64 { return s.DropsAdmission + s.DropsNoMemory }
+
+// classQueue is one traffic-class queue: the PD-list in cell memory plus
+// the in-lockstep packet metadata and the ABM drain-rate estimator.
+type classQueue struct {
+	cells *cellmem.Queue
+	meta  fifo[*pkt.Packet]
+	prio  int
+	drain *rateMeter
+}
+
+// port is one egress port: a link (rate + propagation + sink) and the
+// per-class queues.
+type port struct {
+	id      int
+	rateBps float64
+	prop    sim.Duration
+	sink    func(*pkt.Packet)
+	busy    bool
+	classes []*classQueue
+	sched   scheduler
+}
+
+// Switch is a shared-memory switch instance.
+type Switch struct {
+	name     string
+	eng      *sim.Engine
+	cfg      Config
+	pool     *cellmem.Pool
+	ports    []*port
+	flat     []*classQueue // all queues, indexed port*ClassesPerPort+class
+	policy   bm.Policy
+	preempt  core.Preemptor      // non-nil when policy can make room at admission
+	preemptQ core.QueuePreemptor // arrival-queue-aware variant (POT, QPO)
+	occ      *core.Engine        // non-nil when Occamy expulsion is enabled
+	router   Router
+
+	totalBytes int // sum of queue lengths (packet bytes, not cell-rounded)
+	stats      Stats
+
+	// Memory-bandwidth meter: cell operations (reads+writes) per second,
+	// for the Fig 7(b) utilization measurement.
+	memBW *rateMeter
+
+	// DropHook, when set, observes every loss (arrival drops and
+	// expulsions). Experiments use it for loss-rate and utilization-on-
+	// drop measurements.
+	DropHook func(p *pkt.Packet, q int, reason DropReason)
+	// MarkHook, when set, observes ECN marks.
+	MarkHook func(p *pkt.Packet, q int)
+}
+
+// New builds a switch. Ports must then be attached with AttachPort, and
+// a Router installed with SetRouter, before traffic arrives.
+func New(name string, eng *sim.Engine, cfg Config) *Switch {
+	if cfg.Ports <= 0 || cfg.ClassesPerPort <= 0 {
+		panic("switchsim: need at least one port and one class")
+	}
+	if cfg.BufferBytes <= 0 {
+		panic("switchsim: BufferBytes must be positive")
+	}
+	if cfg.CellBytes == 0 {
+		cfg.CellBytes = 200
+	}
+	if cfg.Policy == nil {
+		panic("switchsim: Policy is required")
+	}
+	s := &Switch{
+		name: name,
+		eng:  eng,
+		cfg:  cfg,
+		pool: cellmem.New(cellmem.Config{
+			CellSize: cfg.CellBytes,
+			NumCells: (cfg.BufferBytes + cfg.CellBytes - 1) / cfg.CellBytes,
+		}),
+		policy: cfg.Policy,
+		memBW:  newRateMeter(20 * sim.Microsecond),
+	}
+	if p, ok := cfg.Policy.(core.Preemptor); ok {
+		s.preempt = p
+	}
+	if p, ok := cfg.Policy.(core.QueuePreemptor); ok {
+		s.preemptQ = p
+	}
+	s.ports = make([]*port, cfg.Ports)
+	for i := range s.ports {
+		pt := &port{id: i, sched: newScheduler(cfg.Scheduler, cfg.ClassesPerPort, cfg.DRRQuantum)}
+		pt.classes = make([]*classQueue, cfg.ClassesPerPort)
+		for c := range pt.classes {
+			cq := &classQueue{
+				cells: cellmem.NewQueue(s.pool),
+				prio:  c,
+				drain: newRateMeter(20 * sim.Microsecond),
+			}
+			pt.classes[c] = cq
+			s.flat = append(s.flat, cq)
+		}
+		s.ports[i] = pt
+	}
+	return s
+}
+
+// AttachPort wires port i to a link: egress rate in bits/sec,
+// propagation delay, and the receiver's delivery function.
+func (s *Switch) AttachPort(i int, rateBps float64, prop sim.Duration, sink func(*pkt.Packet)) {
+	if rateBps <= 0 {
+		panic("switchsim: port rate must be positive")
+	}
+	p := s.ports[i]
+	p.rateBps = rateBps
+	p.prop = prop
+	p.sink = sink
+
+	// (Re)derive the Occamy expulsion engine once all known port rates
+	// are in: the token rate is the aggregate memory bandwidth.
+	if s.cfg.Occamy != nil {
+		occCfg := *s.cfg.Occamy
+		if occCfg.TokenRate == 0 {
+			total := 0.0
+			for _, pt := range s.ports {
+				total += pt.rateBps
+			}
+			occCfg.TokenRate = total / 8 / float64(s.cfg.CellBytes)
+		}
+		s.occ = core.NewEngine(s, occCfg)
+	}
+}
+
+// SetRouter installs the egress-port lookup.
+func (s *Switch) SetRouter(r Router) { s.router = r }
+
+// Name returns the switch's name (for experiment output).
+func (s *Switch) Name() string { return s.name }
+
+// Stats returns a snapshot of the counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// Pool exposes the cell pool (tests assert on its meters).
+func (s *Switch) Pool() *cellmem.Pool { return s.pool }
+
+// Expulsion returns the Occamy engine, or nil.
+func (s *Switch) Expulsion() *core.Engine { return s.occ }
+
+// qindex flattens (port, class) to the global queue index.
+func (s *Switch) qindex(portID, class int) int {
+	return portID*s.cfg.ClassesPerPort + class
+}
+
+// --- bm.State implementation -------------------------------------------
+
+// Capacity implements bm.State.
+func (s *Switch) Capacity() int { return s.cfg.BufferBytes }
+
+// Occupancy implements bm.State.
+func (s *Switch) Occupancy() int { return s.totalBytes }
+
+// NumQueues implements bm.State and core.TM.
+func (s *Switch) NumQueues() int { return len(s.flat) }
+
+// QueueLen implements bm.State and core.TM.
+func (s *Switch) QueueLen(q int) int { return s.flat[q].cells.Len() }
+
+// QueuePriority implements bm.State.
+func (s *Switch) QueuePriority(q int) int { return s.flat[q].prio }
+
+// DequeueRate implements bm.State: the queue's recent drain rate
+// normalized to its port capacity.
+func (s *Switch) DequeueRate(q int) float64 {
+	portID := q / s.cfg.ClassesPerPort
+	p := s.ports[portID]
+	if p.rateBps <= 0 {
+		return 0
+	}
+	return s.flat[q].drain.rate(s.eng.Now()) * 8 / p.rateBps
+}
+
+// --- core.TM implementation ---------------------------------------------
+
+// Threshold implements core.TM: the admission policy's current limit.
+func (s *Switch) Threshold(q int) int { return s.policy.Threshold(s, q) }
+
+// HeadPacketCells implements core.TM.
+func (s *Switch) HeadPacketCells(q int) int {
+	cq := s.flat[q]
+	if cq.meta.len() == 0 {
+		return 0
+	}
+	return s.pool.CellsFor(cq.meta.peek().Size)
+}
+
+// HeadDrop implements core.TM: expel the head packet of queue q without
+// touching cell data memory.
+func (s *Switch) HeadDrop(q int) (int, int, bool) {
+	cq := s.flat[q]
+	if cq.meta.len() == 0 {
+		return 0, 0, false
+	}
+	p := cq.meta.pop()
+	cells := s.pool.CellsFor(p.Size)
+	n, id, ok := cq.cells.HeadDrop()
+	if !ok || id != p.ID || n != p.Size {
+		panic(fmt.Sprintf("switchsim: PD/meta desync on head-drop: got (%d,%d), want (%d,%d)", n, id, p.Size, p.ID))
+	}
+	s.totalBytes -= p.Size
+	s.stats.DropsExpelled++
+	s.memBW.add(s.eng.Now(), cells) // pointer-path bandwidth only
+	if s.DropHook != nil {
+		s.DropHook(p, q, DropExpelled)
+	}
+	return p.Size, cells, true
+}
+
+// Now implements core.TM.
+func (s *Switch) Now() sim.Time { return s.eng.Now() }
+
+// After implements core.TM.
+func (s *Switch) After(d sim.Duration, fn func()) { s.eng.After(d, fn) }
+
+// --- Data path -----------------------------------------------------------
+
+// Receive is the ingress entry point: admission control, buffering, and
+// (if the egress link is idle) kicking off transmission.
+func (s *Switch) Receive(p *pkt.Packet) {
+	if s.router == nil {
+		panic("switchsim: no router installed")
+	}
+	s.stats.RxPackets++
+	portID := s.router(p)
+	class := p.Priority
+	if class >= s.cfg.ClassesPerPort {
+		class = s.cfg.ClassesPerPort - 1
+	}
+	q := s.qindex(portID, class)
+
+	if !s.policy.Admit(s, q, p.Size) {
+		// Preemptive policies may make room at admission time (Pushout
+		// and its POT/QPO variants).
+		ok := false
+		if bm.FreeBuffer(s) < p.Size {
+			switch {
+			case s.preemptQ != nil:
+				if s.preemptQ.MakeRoomFor(s, s, q, p.Size) {
+					ok = s.policy.Admit(s, q, p.Size)
+				}
+			case s.preempt != nil:
+				if s.preempt.MakeRoom(s, s, p.Size) {
+					ok = s.policy.Admit(s, q, p.Size)
+				}
+			}
+		}
+		if !ok {
+			s.drop(p, q, DropAdmission)
+			return
+		}
+	}
+
+	ref := s.pool.Alloc(p.Size, p.ID)
+	if ref == cellmem.NilPD {
+		// Byte accounting said yes but cell rounding said no.
+		s.drop(p, q, DropNoMemory)
+		return
+	}
+
+	cq := s.flat[q]
+	// ECN: mark at enqueue when the queue is past the threshold.
+	if s.cfg.ECNThresholdBytes > 0 && p.ECNCapable && cq.cells.Len() >= s.cfg.ECNThresholdBytes {
+		p.CE = true
+		s.stats.ECNMarked++
+		if s.MarkHook != nil {
+			s.MarkHook(p, q)
+		}
+	}
+	cq.cells.Enqueue(ref)
+	cq.meta.push(p)
+	s.totalBytes += p.Size
+	s.memBW.add(s.eng.Now(), s.pool.CellsFor(p.Size)) // cell writes
+
+	if s.occ != nil {
+		// An enqueue shrinks the free buffer and can push any queue over
+		// its (now lower) threshold: let the expulsion engine look.
+		s.occ.Kick()
+	}
+	s.tryTransmit(s.ports[portID])
+}
+
+func (s *Switch) drop(p *pkt.Packet, q int, reason DropReason) {
+	switch reason {
+	case DropAdmission:
+		s.stats.DropsAdmission++
+	case DropNoMemory:
+		s.stats.DropsNoMemory++
+	}
+	if s.DropHook != nil {
+		s.DropHook(p, q, reason)
+	}
+}
+
+// tryTransmit starts serializing the next packet on the port if the link
+// is idle and any class is backlogged.
+func (s *Switch) tryTransmit(pt *port) {
+	if pt.busy || pt.sink == nil {
+		return
+	}
+	class := pt.sched.next(pt.classes)
+	if class < 0 {
+		return
+	}
+	cq := pt.classes[class]
+	p := cq.meta.pop()
+	n, id, ok := cq.cells.Dequeue()
+	if !ok || id != p.ID || n != p.Size {
+		panic(fmt.Sprintf("switchsim: PD/meta desync on dequeue: got (%d,%d), want (%d,%d)", n, id, p.Size, p.ID))
+	}
+	s.totalBytes -= p.Size
+	now := s.eng.Now()
+	cells := s.pool.CellsFor(p.Size)
+	cq.drain.add(now, p.Size)
+	s.memBW.add(now, 2*cells) // pointer reads + cell-data reads
+	if s.occ != nil {
+		s.occ.OnTransmit(cells) // the scheduler always wins the bandwidth
+	}
+	s.stats.TxPackets++
+	s.stats.TxBytes += int64(p.Size)
+
+	txTime := sim.Duration(float64(p.Size*8) / pt.rateBps * float64(sim.Second))
+	if txTime < 1 {
+		txTime = 1
+	}
+	pt.busy = true
+	s.eng.After(txTime, func() {
+		pt.busy = false
+		s.tryTransmit(pt)
+	})
+	s.eng.After(txTime+pt.prop, func() { pt.sink(p) })
+}
+
+// MemBandwidthUtilization returns the fraction of the switch's aggregate
+// memory bandwidth currently consumed (Fig 7(b)). The overall bandwidth
+// is 2× the aggregate port rate (simultaneous full-rate writes + reads).
+func (s *Switch) MemBandwidthUtilization() float64 {
+	total := 0.0
+	for _, pt := range s.ports {
+		total += pt.rateBps
+	}
+	if total == 0 {
+		return 0
+	}
+	overallCellsPerSec := 2 * total / 8 / float64(s.cfg.CellBytes)
+	u := s.memBW.rate(s.eng.Now()) / overallCellsPerSec
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// BufferUtilization returns Occupancy/Capacity (Fig 7(a)).
+func (s *Switch) BufferUtilization() float64 {
+	return float64(s.totalBytes) / float64(s.cfg.BufferBytes)
+}
+
+var _ bm.State = (*Switch)(nil)
+var _ core.TM = (*Switch)(nil)

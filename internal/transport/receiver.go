@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+)
+
+// Receiver reassembles a flow and acknowledges every data packet with a
+// cumulative ACK carrying a per-packet ECN echo (the DCTCP marking
+// channel). Out-of-order segments are buffered by sequence number.
+type Receiver struct {
+	net  Net
+	spec FlowSpec
+
+	rcvNxt int64
+	ooo    map[int64]int64 // seq -> segment end, buffered out of order
+
+	done bool
+	// OnComplete fires when the last payload byte arrives (the FCT/QCT
+	// measurement point used by the workloads).
+	OnComplete func(at sim.Time)
+}
+
+// NewReceiver builds the receive side of a flow.
+func NewReceiver(net Net, spec FlowSpec) *Receiver {
+	return &Receiver{net: net, spec: spec, ooo: make(map[int64]int64)}
+}
+
+// Done reports whether every byte has arrived.
+func (r *Receiver) Done() bool { return r.done }
+
+// Received returns the in-order byte count.
+func (r *Receiver) Received() int64 { return r.rcvNxt }
+
+// OnPacket implements Handler: the receiver consumes data segments.
+func (r *Receiver) OnPacket(p *pkt.Packet) {
+	if p.Ack {
+		return
+	}
+	if p.Seq == r.rcvNxt {
+		r.rcvNxt = p.End()
+		// Drain any contiguous out-of-order segments.
+		for {
+			end, ok := r.ooo[r.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt = end
+		}
+	} else if p.Seq > r.rcvNxt {
+		if end, ok := r.ooo[p.Seq]; !ok || end < p.End() {
+			r.ooo[p.Seq] = p.End()
+		}
+	}
+	// ACK every data packet; echo this packet's CE mark.
+	r.net.Send(&pkt.Packet{
+		ID:       newPktID(),
+		FlowID:   r.spec.ID,
+		Src:      r.spec.Dst,
+		Dst:      r.spec.Src,
+		Size:     pkt.AckBytes,
+		Ack:      true,
+		AckNo:    r.rcvNxt,
+		ECNEcho:  p.CE,
+		Priority: p.Priority,
+		SentAt:   p.SentAt, // echoed for the sender's RTT sample
+	})
+	if !r.done && r.rcvNxt >= r.spec.Size {
+		r.done = true
+		if r.OnComplete != nil {
+			r.OnComplete(r.net.Now())
+		}
+	}
+}
+
+var _ Handler = (*Receiver)(nil)

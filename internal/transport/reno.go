@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"math"
+
+	"occamy/internal/sim"
+)
+
+// Reno implements classic TCP NewReno congestion control: slow start,
+// AIMD congestion avoidance (+1 MSS/RTT, ×0.5 on loss). It complements
+// DCTCP and Cubic for experiments that need the plainest loss-based
+// behaviour.
+type Reno struct {
+	mss      int
+	cwnd     float64
+	ssthresh float64
+}
+
+// NewReno returns a Reno controller.
+func NewReno(mss, initCwndSegs int) *Reno {
+	return &Reno{
+		mss:      mss,
+		cwnd:     float64(mss * initCwndSegs),
+		ssthresh: math.MaxFloat64 / 4,
+	}
+}
+
+// Name implements CC.
+func (r *Reno) Name() string { return "reno" }
+
+// Cwnd implements CC.
+func (r *Reno) Cwnd() int { return int(r.cwnd) }
+
+// OnAck implements CC. ECN echoes are treated as loss-equivalent
+// (RFC 3168 behaviour): one multiplicative decrease per window.
+func (r *Reno) OnAck(newly, ackNo, sndNxt int64, ecnEcho bool, now sim.Time) {
+	if ecnEcho {
+		// At most one backoff per RTT: only cut when cwnd is above
+		// ssthresh (i.e. we have not just cut).
+		if r.cwnd > r.ssthresh {
+			r.OnFastRetransmit(now)
+		}
+		return
+	}
+	if r.cwnd < r.ssthresh {
+		r.cwnd += float64(newly)
+	} else {
+		r.cwnd += float64(r.mss) * float64(newly) / r.cwnd
+	}
+}
+
+// OnFastRetransmit implements CC.
+func (r *Reno) OnFastRetransmit(now sim.Time) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < float64(r.mss) {
+		r.ssthresh = float64(r.mss)
+	}
+	r.cwnd = r.ssthresh
+}
+
+// OnTimeout implements CC.
+func (r *Reno) OnTimeout(now sim.Time) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < float64(r.mss) {
+		r.ssthresh = float64(r.mss)
+	}
+	r.cwnd = float64(r.mss)
+}
+
+var _ CC = (*Reno)(nil)

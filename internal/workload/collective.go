@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"occamy/internal/metrics"
+	"occamy/internal/netsim"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/transport"
+)
+
+// AllToAll generates rounds of the AI all-to-all pattern: every host
+// sends FlowSize bytes to every other host. Round starts are spaced so
+// the average per-host offered load matches Load.
+type AllToAll struct {
+	Net      *netsim.Network
+	Hosts    []pkt.NodeID
+	FlowSize int64
+	Load     float64
+	LinkBps  float64
+
+	Priority int
+	ECN      bool
+	NewCC    func(mss, segs int) transport.CC
+	Opts     transport.Options
+
+	Collector  *metrics.Collector
+	OneWayBase sim.Duration
+
+	stopped bool
+	rounds  int64
+}
+
+// RoundInterval returns the spacing between round starts that hits the
+// target load: each host sends (N−1)·FlowSize bytes per round.
+func (a *AllToAll) RoundInterval() sim.Duration {
+	perHost := float64(len(a.Hosts)-1) * float64(a.FlowSize) * 8
+	return sim.Duration(perHost / (a.Load * a.LinkBps) * float64(sim.Second))
+}
+
+// Start launches rounds in [from, until).
+func (a *AllToAll) Start(from, until sim.Time) {
+	if a.Load <= 0 || len(a.Hosts) < 2 {
+		panic("workload: AllToAll needs Load > 0 and >= 2 hosts")
+	}
+	interval := a.RoundInterval()
+	var schedule func(at sim.Time)
+	schedule = func(at sim.Time) {
+		if at > until || a.stopped {
+			return
+		}
+		a.Net.Eng.At(at, func() {
+			a.round()
+			schedule(at + interval)
+		})
+	}
+	schedule(from)
+}
+
+// Stop halts new rounds.
+func (a *AllToAll) Stop() { a.stopped = true }
+
+// Rounds returns the number of rounds launched.
+func (a *AllToAll) Rounds() int64 { return a.rounds }
+
+func (a *AllToAll) round() {
+	a.rounds++
+	now := a.Net.Eng.Now()
+	ideal := IdealFCT(a.FlowSize, a.LinkBps, a.OneWayBase)
+	for _, src := range a.Hosts {
+		for _, dst := range a.Hosts {
+			if src == dst {
+				continue
+			}
+			size := a.FlowSize
+			a.Net.StartFlow(now, src, dst, size, netsim.FlowOptions{
+				Priority:  a.Priority,
+				ECN:       a.ECN,
+				NewCC:     a.NewCC,
+				Transport: a.Opts,
+				OnComplete: func(fct sim.Duration) {
+					if a.Collector != nil {
+						a.Collector.Add(size, fct, ideal)
+					}
+				},
+			})
+		}
+	}
+}
+
+// TreeEdge is a parent-child link in a reduction tree.
+type TreeEdge struct {
+	Parent, Child int // indices into the host list
+}
+
+// DoubleBinaryTree builds the two complementary binary trees of the
+// prevailing all-reduce algorithm (Sanders, Speck, Träff): tree A is the
+// heap-ordered binary tree over ranks, tree B is the same shape over a
+// rotated rank order, so interior nodes of one tree tend to be leaves of
+// the other and every rank forwards data in exactly one tree.
+func DoubleBinaryTree(n int) (treeA, treeB []TreeEdge) {
+	heapEdges := func(rank func(i int) int) []TreeEdge {
+		var edges []TreeEdge
+		for i := 0; i < n; i++ {
+			if l := 2*i + 1; l < n {
+				edges = append(edges, TreeEdge{Parent: rank(i), Child: rank(l)})
+			}
+			if r := 2*i + 2; r < n {
+				edges = append(edges, TreeEdge{Parent: rank(i), Child: rank(r)})
+			}
+		}
+		return edges
+	}
+	treeA = heapEdges(func(i int) int { return i })
+	treeB = heapEdges(func(i int) int { return (i + n/2) % n }) // rotated ranks
+	return treeA, treeB
+}
+
+// AllReduce generates rounds of double-binary-tree all-reduce traffic:
+// per round, each tree edge carries one reduce flow (child→parent) and
+// one broadcast flow (parent→child), all of identical size (half the
+// reduced data goes down each tree).
+type AllReduce struct {
+	Net      *netsim.Network
+	Hosts    []pkt.NodeID
+	FlowSize int64
+	Load     float64
+	LinkBps  float64
+
+	Priority int
+	ECN      bool
+	NewCC    func(mss, segs int) transport.CC
+	Opts     transport.Options
+
+	Collector  *metrics.Collector
+	OneWayBase sim.Duration
+
+	stopped bool
+	rounds  int64
+	edgesA  []TreeEdge
+	edgesB  []TreeEdge
+}
+
+// RoundInterval spaces rounds to hit the target average load on the
+// busiest host (an interior node sends ~2 flows per tree per round).
+func (a *AllReduce) RoundInterval() sim.Duration {
+	perHost := 4 * float64(a.FlowSize) * 8 // ≈ worst-case sends per round
+	return sim.Duration(perHost / (a.Load * a.LinkBps) * float64(sim.Second))
+}
+
+// Start launches rounds in [from, until).
+func (a *AllReduce) Start(from, until sim.Time) {
+	if a.Load <= 0 || len(a.Hosts) < 2 {
+		panic("workload: AllReduce needs Load > 0 and >= 2 hosts")
+	}
+	a.edgesA, a.edgesB = DoubleBinaryTree(len(a.Hosts))
+	interval := a.RoundInterval()
+	var schedule func(at sim.Time)
+	schedule = func(at sim.Time) {
+		if at > until || a.stopped {
+			return
+		}
+		a.Net.Eng.At(at, func() {
+			a.round()
+			schedule(at + interval)
+		})
+	}
+	schedule(from)
+}
+
+// Stop halts new rounds.
+func (a *AllReduce) Stop() { a.stopped = true }
+
+// Rounds returns the number of rounds launched.
+func (a *AllReduce) Rounds() int64 { return a.rounds }
+
+func (a *AllReduce) round() {
+	a.rounds++
+	now := a.Net.Eng.Now()
+	ideal := IdealFCT(a.FlowSize, a.LinkBps, a.OneWayBase)
+	launch := func(src, dst pkt.NodeID) {
+		if src == dst {
+			return
+		}
+		size := a.FlowSize
+		a.Net.StartFlow(now, src, dst, size, netsim.FlowOptions{
+			Priority:  a.Priority,
+			ECN:       a.ECN,
+			NewCC:     a.NewCC,
+			Transport: a.Opts,
+			OnComplete: func(fct sim.Duration) {
+				if a.Collector != nil {
+					a.Collector.Add(size, fct, ideal)
+				}
+			},
+		})
+	}
+	for _, edges := range [][]TreeEdge{a.edgesA, a.edgesB} {
+		for _, e := range edges {
+			launch(a.Hosts[e.Child], a.Hosts[e.Parent]) // reduce
+			launch(a.Hosts[e.Parent], a.Hosts[e.Child]) // broadcast
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"occamy/internal/bm"
+	"occamy/internal/metrics"
+	"occamy/internal/netsim"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+)
+
+func TestWebSearchCDFSampling(t *testing.T) {
+	cdf := WebSearch()
+	r := sim.NewRand(1)
+	const n = 100000
+	var sum float64
+	small := 0
+	for i := 0; i < n; i++ {
+		s := cdf.Sample(r)
+		if s < 1 || s > 30_000_000 {
+			t.Fatalf("sample %d out of range", s)
+		}
+		if s < 100_000 {
+			small++
+		}
+		sum += float64(s)
+	}
+	// Sample mean must match the analytic mean within 5%.
+	mean := sum / n
+	want := cdf.Mean()
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("sample mean %v vs analytic %v", mean, want)
+	}
+	// Web-search is mostly small flows: >50% under 100KB.
+	if frac := float64(small) / n; frac < 0.5 {
+		t.Fatalf("only %v of flows < 100KB", frac)
+	}
+}
+
+func TestUniformCDF(t *testing.T) {
+	cdf := Uniform(64_000)
+	r := sim.NewRand(2)
+	for i := 0; i < 100; i++ {
+		if s := cdf.Sample(r); s != 64_000 {
+			t.Fatalf("Uniform sampled %d", s)
+		}
+	}
+	if cdf.Mean() != 64_000 {
+		t.Fatalf("Mean = %v", cdf.Mean())
+	}
+}
+
+func TestCDFValidation(t *testing.T) {
+	for _, pts := range [][]CDFPoint{
+		{{0, 0}},                // too short
+		{{0, 0}, {100, 0.5}},    // does not reach 1
+		{{0, 0.5}, {100, 0.25}}, // decreasing cum
+		{{100, 0}, {50, 1}},     // decreasing size
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCDF(%v) did not panic", pts)
+				}
+			}()
+			NewCDF(pts)
+		}()
+	}
+}
+
+func TestIdealFCT(t *testing.T) {
+	// 1 MSS at 10Gbps: 1500B wire = 1.2µs + 10µs base.
+	got := IdealFCT(pkt.MSS, 10e9, 10*sim.Microsecond)
+	if got < 11*sim.Microsecond || got > 12*sim.Microsecond {
+		t.Fatalf("IdealFCT = %v, want ~11.2µs", got)
+	}
+}
+
+func smallStar(hosts int) *netsim.Network {
+	rates := make([]float64, hosts)
+	for i := range rates {
+		rates[i] = 10e9
+	}
+	return netsim.SingleSwitch(netsim.SingleSwitchConfig{
+		HostRates: rates,
+		LinkDelay: 2 * sim.Microsecond,
+		Switch: switchsim.Config{
+			ClassesPerPort:    1,
+			BufferBytes:       500_000,
+			Policy:            bm.NewDT(1),
+			ECNThresholdBytes: 80_000,
+		},
+		Seed: 7,
+	})
+}
+
+func TestBackgroundGeneratorLoad(t *testing.T) {
+	net := smallStar(4)
+	hosts := []pkt.NodeID{0, 1, 2, 3}
+	var col metrics.Collector
+	bg := &Background{
+		Net: net, Hosts: hosts, Load: 0.3, LinkBps: 10e9,
+		Dist: Uniform(100_000), ECN: true,
+		Collector: &col, OneWayBase: 4 * sim.Microsecond,
+	}
+	dur := 20 * sim.Millisecond
+	bg.Start(0, dur)
+	net.Eng.RunUntil(dur + 50*sim.Millisecond)
+	if bg.Started() == 0 {
+		t.Fatal("no flows generated")
+	}
+	// Offered load ≈ 0.3 × 10G × 4 hosts = 12Gbps → 1.5GB/s → in 20ms,
+	// 30MB → 300 flows of 100KB. Allow ±40% (Poisson noise, small window).
+	if bg.Started() < 180 || bg.Started() > 420 {
+		t.Fatalf("started %d flows, want ~300", bg.Started())
+	}
+	if col.Count() < int(bg.Started())*8/10 {
+		t.Fatalf("only %d/%d flows completed", col.Count(), bg.Started())
+	}
+}
+
+func TestIncastQCT(t *testing.T) {
+	net := smallStar(5)
+	var col metrics.Collector
+	g := &Incast{
+		Net: net, Client: 0, Servers: []pkt.NodeID{1, 2, 3, 4},
+		Fanout: 4, QuerySize: 400_000, Interval: 10 * sim.Millisecond,
+		ECN: true, Collector: &col,
+		LinkBps: 10e9, OneWayBase: 4 * sim.Microsecond,
+	}
+	g.Start(0, 25*sim.Millisecond)
+	net.Eng.RunUntil(100 * sim.Millisecond)
+	if g.Queries() != 3 {
+		t.Fatalf("issued %d queries, want 3", g.Queries())
+	}
+	if g.Done() != 3 {
+		t.Fatalf("completed %d/%d queries", g.Done(), g.Queries())
+	}
+	// Ideal: 400KB over 10G ≈ 330µs; with incast congestion allow 10x.
+	if m := col.MeanFCT(); m < 300*sim.Microsecond || m > 3300*sim.Microsecond {
+		t.Fatalf("mean QCT = %v, want ~0.4-3ms", m)
+	}
+}
+
+func TestIncastFanoutValidation(t *testing.T) {
+	net := smallStar(3)
+	// Zero fanout is invalid.
+	g := &Incast{Net: net, Client: 0, Servers: []pkt.NodeID{1, 2}, Fanout: 0}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero fanout did not panic")
+			}
+		}()
+		g.Start(0, sim.Second)
+	}()
+	// RandomClient requires at least two hosts in the pool.
+	g2 := &Incast{Net: net, Servers: []pkt.NodeID{1}, RandomClient: true, Fanout: 1}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("random client with one server did not panic")
+			}
+		}()
+		g2.Start(0, sim.Second)
+	}()
+}
+
+// Fanout beyond the server count cycles servers (incast degree 40 over
+// 5 senders in Fig 6).
+func TestIncastFanoutExceedsServers(t *testing.T) {
+	net := smallStar(3)
+	var col metrics.Collector
+	g := &Incast{
+		Net: net, Client: 0, Servers: []pkt.NodeID{1, 2},
+		Fanout: 8, QuerySize: 80_000, Interval: 10 * sim.Millisecond,
+		ECN: true, Collector: &col, LinkBps: 10e9, OneWayBase: 4 * sim.Microsecond,
+	}
+	g.Start(0, 0) // one query
+	net.Eng.RunUntil(50 * sim.Millisecond)
+	if g.Done() != 1 {
+		t.Fatalf("query with cycled fanout did not complete: %d", g.Done())
+	}
+}
+
+func TestAllToAllRound(t *testing.T) {
+	net := smallStar(4)
+	var col metrics.Collector
+	a := &AllToAll{
+		Net: net, Hosts: []pkt.NodeID{0, 1, 2, 3},
+		FlowSize: 50_000, Load: 0.5, LinkBps: 10e9,
+		ECN: true, Collector: &col, OneWayBase: 4 * sim.Microsecond,
+	}
+	a.Start(0, 0) // exactly one round
+	net.Eng.RunUntil(50 * sim.Millisecond)
+	if a.Rounds() != 1 {
+		t.Fatalf("rounds = %d", a.Rounds())
+	}
+	if col.Count() != 12 { // 4×3 pairs
+		t.Fatalf("completed %d flows, want 12", col.Count())
+	}
+}
+
+func TestDoubleBinaryTreeProperties(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		a, b := DoubleBinaryTree(n)
+		// Each tree must span all nodes: n-1 edges, every non-root
+		// appears exactly once as a child.
+		check := func(edges []TreeEdge) bool {
+			if len(edges) != n-1 {
+				return false
+			}
+			childSeen := make([]bool, n)
+			for _, e := range edges {
+				if e.Parent < 0 || e.Parent >= n || e.Child < 0 || e.Child >= n {
+					return false
+				}
+				if e.Parent == e.Child || childSeen[e.Child] {
+					return false
+				}
+				childSeen[e.Child] = true
+			}
+			return true
+		}
+		return check(a) && check(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleBinaryTreeRootsDiffer(t *testing.T) {
+	a, b := DoubleBinaryTree(8)
+	rootOf := func(edges []TreeEdge) int {
+		child := map[int]bool{}
+		for _, e := range edges {
+			child[e.Child] = true
+		}
+		for i := 0; i < 8; i++ {
+			if !child[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	if rootOf(a) == rootOf(b) {
+		t.Fatal("the two trees share a root; load not spread")
+	}
+}
+
+func TestAllReduceRound(t *testing.T) {
+	net := smallStar(4)
+	var col metrics.Collector
+	a := &AllReduce{
+		Net: net, Hosts: []pkt.NodeID{0, 1, 2, 3},
+		FlowSize: 50_000, Load: 0.5, LinkBps: 10e9,
+		ECN: true, Collector: &col, OneWayBase: 4 * sim.Microsecond,
+	}
+	a.Start(0, 0) // one round
+	net.Eng.RunUntil(50 * sim.Millisecond)
+	// Two trees × 3 edges × 2 directions = 12 flows, minus any
+	// self-flows (none for n=4 heap trees).
+	if col.Count() != 12 {
+		t.Fatalf("completed %d flows, want 12", col.Count())
+	}
+}
+
+func TestIncastRandomClientRotates(t *testing.T) {
+	net := smallStar(5)
+	var col metrics.Collector
+	g := &Incast{
+		Net: net, Servers: []pkt.NodeID{0, 1, 2, 3, 4}, RandomClient: true,
+		Fanout: 3, QuerySize: 60_000, Interval: 5 * sim.Millisecond,
+		ECN: true, Collector: &col, LinkBps: 10e9, OneWayBase: 4 * sim.Microsecond,
+	}
+	g.Start(0, 40*sim.Millisecond)
+	net.Eng.RunUntil(200 * sim.Millisecond)
+	if g.Done() != g.Queries() || g.Done() < 8 {
+		t.Fatalf("done %d of %d queries", g.Done(), g.Queries())
+	}
+	// Every host must have received traffic eventually (clients rotate):
+	// check via per-switch port transmit counters.
+	st := net.Switches[0].Stats()
+	if st.TxPackets == 0 {
+		t.Fatal("no traffic")
+	}
+}

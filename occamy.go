@@ -1,0 +1,260 @@
+// Package occamy is the public API of this repository: a from-scratch Go
+// implementation of Occamy — a preemptive buffer-management (BM) scheme
+// for on-chip shared-memory switches (Shan et al., arXiv:2501.13570) —
+// together with the complete evaluation substrate: the cell-structured
+// shared-buffer switch model, the non-preemptive baselines (Complete
+// Sharing, Static Threshold, DT, ABM) and the preemptive ones (Pushout,
+// Occamy), a DCTCP/CUBIC transport stack, datacenter topologies, and the
+// workload generators used by the paper.
+//
+// # Quick start
+//
+// Build a switch with Occamy buffer management and push packets through:
+//
+//	eng := occamy.NewEngine()
+//	sw := occamy.NewSwitch("sw0", eng, occamy.SwitchConfig{
+//		Ports:          8,
+//		ClassesPerPort: 1,
+//		BufferBytes:    410 << 10,
+//		Policy:         occamy.NewOccamy(occamy.OccamyConfig{Alpha: 8}),
+//		Occamy:         &occamy.OccamyConfig{Alpha: 8},
+//	})
+//
+// See examples/ for runnable end-to-end scenarios and
+// internal/experiments for the per-figure reproduction harnesses.
+//
+// The deeper layers remain importable for advanced use:
+//
+//   - occamy/internal/* is intentionally *not* reachable from other
+//     modules; everything a user needs is re-exported here.
+package occamy
+
+import (
+	"occamy/internal/bm"
+	"occamy/internal/core"
+	"occamy/internal/hw"
+	"occamy/internal/metrics"
+	"occamy/internal/netsim"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+	"occamy/internal/transport"
+	"occamy/internal/workload"
+)
+
+// --- Simulation engine ----------------------------------------------------
+
+// Engine is the deterministic discrete-event scheduler driving every
+// simulation.
+type Engine = sim.Engine
+
+// Time is virtual nanoseconds since the start of a run.
+type Time = sim.Time
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = sim.Duration
+
+// Virtual time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// Rand is the deterministic PRNG used by workloads.
+type Rand = sim.Rand
+
+// NewRand seeds a deterministic generator.
+func NewRand(seed uint64) *Rand { return sim.NewRand(seed) }
+
+// --- Buffer management policies -------------------------------------------
+
+// Policy decides packet admission into the shared buffer.
+type Policy = bm.Policy
+
+// PolicyState is the live switch statistics view a Policy consults.
+type PolicyState = bm.State
+
+// NewDT returns Dynamic Threshold (Choudhury–Hahne) with parameter α —
+// the de facto BM in commodity switch chips.
+func NewDT(alpha float64) *bm.DT { return bm.NewDT(alpha) }
+
+// NewABM returns Active Buffer Management (SIGCOMM'22), the strongest
+// non-preemptive baseline.
+func NewABM(alpha float64) *bm.ABM { return bm.NewABM(alpha) }
+
+// CompleteSharing admits any packet that physically fits.
+type CompleteSharing = bm.CompleteSharing
+
+// StaticThreshold caps every queue at a fixed byte count.
+type StaticThreshold = bm.StaticThreshold
+
+// NewEDT returns Enhanced DT (INFOCOM'15): DT plus transient-burst
+// headroom. clock supplies virtual nanoseconds (e.g. the engine's Now).
+func NewEDT(alpha float64, clock func() int64) *bm.EDT { return bm.NewEDT(alpha, clock) }
+
+// NewTDT returns Traffic-aware DT (INFOCOM'21): DT with per-queue
+// absorption/evacuation states driven by Observe calls.
+func NewTDT(alpha float64) *bm.TDT { return bm.NewTDT(alpha) }
+
+// NewPOT returns Pushout-with-Threshold (JSAC'95): eviction allowed only
+// while the arriving packet's queue is below fraction·B.
+func NewPOT(fraction float64) *core.POT { return core.NewPOT(fraction) }
+
+// NewQPO returns Quasi-Pushout (IEEE CL'97): eviction from a cheaply
+// maintained quasi-longest-queue register.
+func NewQPO() *core.QPO { return core.NewQPO() }
+
+// OccamyConfig parameterizes the Occamy policy: admission α, victim
+// selection, and the redundant-bandwidth token bucket.
+type OccamyConfig = core.Config
+
+// VictimPolicy selects which over-allocated queue Occamy drops from.
+type VictimPolicy = core.VictimPolicy
+
+// Victim policies.
+const (
+	RoundRobinDrop = core.RoundRobin
+	LongestDrop    = core.LongestQueue
+)
+
+// NewOccamy returns the paper's preemptive BM: DT admission with a
+// large α plus reactive head-drop expulsion of over-allocated queues.
+func NewOccamy(cfg OccamyConfig) *core.Occamy { return core.New(cfg) }
+
+// NewPushout returns the classic preemptive baseline: admit while any
+// space remains; evict from the longest queue when full.
+func NewPushout() *core.Pushout { return core.NewPushout() }
+
+// DTReservedFraction returns F/B = 1/(1+αn), the free-buffer share DT
+// reserves in steady state (Eq. 2 of the paper).
+func DTReservedFraction(alpha float64, congestedQueues int) float64 {
+	return bm.ReservedFraction(alpha, congestedQueues)
+}
+
+// --- Switch model -----------------------------------------------------------
+
+// Switch is the shared-memory switch: cell-structured buffer, pluggable
+// BM, per-port schedulers, ECN marking, and (for Occamy) the expulsion
+// engine.
+type Switch = switchsim.Switch
+
+// SwitchConfig describes a switch.
+type SwitchConfig = switchsim.Config
+
+// SchedKind selects the per-port scheduling discipline.
+type SchedKind = switchsim.SchedKind
+
+// Scheduling disciplines.
+const (
+	SchedFIFO = switchsim.SchedFIFO
+	SchedDRR  = switchsim.SchedDRR
+	SchedSP   = switchsim.SchedSP
+)
+
+// DropReason classifies packet losses.
+type DropReason = switchsim.DropReason
+
+// Drop reasons.
+const (
+	DropAdmission = switchsim.DropAdmission
+	DropNoMemory  = switchsim.DropNoMemory
+	DropExpelled  = switchsim.DropExpelled
+)
+
+// NewSwitch builds a switch; attach ports and install a router before
+// sending traffic.
+func NewSwitch(name string, eng *Engine, cfg SwitchConfig) *Switch {
+	return switchsim.New(name, eng, cfg)
+}
+
+// Packet is the simulated packet shared by all layers.
+type Packet = pkt.Packet
+
+// NodeID identifies a host in the network.
+type NodeID = pkt.NodeID
+
+// Wire-size constants.
+const (
+	MTU         = pkt.MTU
+	MSS         = pkt.MSS
+	HeaderBytes = pkt.HeaderBytes
+)
+
+// --- Network, transport, workloads ------------------------------------------
+
+// Network bundles hosts and switches.
+type Network = netsim.Network
+
+// Host is an end node implementing the transport stack's Net interface.
+type Host = netsim.Host
+
+// FlowOptions parameterizes Network.StartFlow.
+type FlowOptions = netsim.FlowOptions
+
+// SingleSwitchConfig builds a star topology (the testbed scenarios).
+type SingleSwitchConfig = netsim.SingleSwitchConfig
+
+// LeafSpineConfig builds the §6.4 leaf–spine fabric with ECMP.
+type LeafSpineConfig = netsim.LeafSpineConfig
+
+// SingleSwitch builds a star network.
+func SingleSwitch(cfg SingleSwitchConfig) *Network { return netsim.SingleSwitch(cfg) }
+
+// LeafSpine builds a leaf–spine fabric.
+func LeafSpine(cfg LeafSpineConfig) *Network { return netsim.LeafSpine(cfg) }
+
+// CC is a pluggable congestion-control algorithm.
+type CC = transport.CC
+
+// TransportOptions tunes the end-host stack.
+type TransportOptions = transport.Options
+
+// NewDCTCP returns a DCTCP controller (ECN-proportional backoff).
+func NewDCTCP(mss, initCwndSegs int) *transport.DCTCP {
+	return transport.NewDCTCP(mss, initCwndSegs)
+}
+
+// NewCubic returns a CUBIC-style loss-based controller.
+func NewCubic(mss, initCwndSegs int) *transport.Cubic {
+	return transport.NewCubic(mss, initCwndSegs)
+}
+
+// NewRenoCC returns a classic NewReno AIMD controller.
+func NewRenoCC(mss, initCwndSegs int) *transport.Reno {
+	return transport.NewReno(mss, initCwndSegs)
+}
+
+// WebSearchCDF returns the DCTCP-paper web-search flow-size distribution.
+func WebSearchCDF() *workload.CDF { return workload.WebSearch() }
+
+// Background generates Poisson 1-to-1 flows at a target load.
+type Background = workload.Background
+
+// Incast generates query (partition–aggregate) traffic.
+type Incast = workload.Incast
+
+// AllToAll generates rounds of the AI all-to-all pattern.
+type AllToAll = workload.AllToAll
+
+// AllReduce generates double-binary-tree all-reduce rounds.
+type AllReduce = workload.AllReduce
+
+// Collector accumulates FCT/QCT samples and computes the paper's
+// statistics (mean, p99, slowdowns).
+type Collector = metrics.Collector
+
+// --- Hardware models ----------------------------------------------------------
+
+// HardwareCost is one row of the paper's Table 1.
+type HardwareCost = hw.Cost
+
+// HardwareCostTable returns the Table 1 cost model for a head-drop
+// selector over nQueues queues with qlenBits-wide queue lengths.
+func HardwareCostTable(nQueues, qlenBits int) []HardwareCost {
+	return hw.Table1(nQueues, qlenBits)
+}

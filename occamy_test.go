@@ -1,0 +1,99 @@
+package occamy_test
+
+import (
+	"testing"
+
+	"occamy"
+)
+
+// TestPublicAPIEndToEnd drives the whole stack through the public
+// facade: a star network, a preemptive-BM switch, DCTCP flows, and the
+// Occamy expulsion engine — the integration path a downstream user
+// takes first.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	occCfg := occamy.OccamyConfig{Alpha: 8}
+	rates := []float64{10e9, 10e9, 10e9, 10e9}
+	net := occamy.SingleSwitch(occamy.SingleSwitchConfig{
+		HostRates: rates,
+		LinkDelay: 2 * occamy.Microsecond,
+		Switch: occamy.SwitchConfig{
+			ClassesPerPort:    1,
+			BufferBytes:       200 << 10,
+			Policy:            occamy.NewOccamy(occCfg),
+			Occamy:            &occCfg,
+			ECNThresholdBytes: 40 << 10,
+		},
+		Seed: 3,
+	})
+	done := 0
+	for i := 1; i < 4; i++ {
+		net.StartFlow(0, occamy.NodeID(i), 0, 500_000, occamy.FlowOptions{
+			ECN:        true,
+			OnComplete: func(occamy.Duration) { done++ },
+		})
+	}
+	net.Eng.RunUntil(occamy.Second)
+	if done != 3 {
+		t.Fatalf("completed %d/3 flows", done)
+	}
+	st := net.Switches[0].Stats()
+	if st.TxPackets == 0 {
+		t.Fatal("switch forwarded nothing")
+	}
+}
+
+// TestPublicAPIPolicies builds every exported policy and checks naming.
+func TestPublicAPIPolicies(t *testing.T) {
+	clock := func() int64 { return 0 }
+	policies := []occamy.Policy{
+		occamy.NewDT(1),
+		occamy.NewABM(2),
+		occamy.NewOccamy(occamy.OccamyConfig{}),
+		occamy.NewPushout(),
+		occamy.NewEDT(1, clock),
+		occamy.NewTDT(1),
+		occamy.NewPOT(0.5),
+		occamy.NewQPO(),
+		occamy.CompleteSharing{},
+		occamy.StaticThreshold{Limit: 1000},
+	}
+	seen := map[string]bool{}
+	for _, p := range policies {
+		n := p.Name()
+		if n == "" || seen[n] {
+			t.Fatalf("policy %T has empty/duplicate name %q", p, n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestPublicAPIHardwareCost checks the Table-1 surface.
+func TestPublicAPIHardwareCost(t *testing.T) {
+	rows := occamy.HardwareCostTable(64, 20)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Module != "Selector" || rows[0].LUTs < 1000 {
+		t.Fatalf("selector row = %+v", rows[0])
+	}
+}
+
+// TestPublicAPIAnalytics checks the re-exported Eq.2 helper.
+func TestPublicAPIAnalytics(t *testing.T) {
+	if f := occamy.DTReservedFraction(8, 1); f < 0.11 || f > 0.112 {
+		t.Fatalf("DTReservedFraction(8,1) = %v, want 1/9", f)
+	}
+}
+
+// TestPublicAPICCs exercises the three congestion controllers.
+func TestPublicAPICCs(t *testing.T) {
+	for _, cc := range []occamy.CC{
+		occamy.NewDCTCP(occamy.MSS, 10),
+		occamy.NewCubic(occamy.MSS, 10),
+		occamy.NewRenoCC(occamy.MSS, 10),
+	} {
+		if cc.Cwnd() != 10*occamy.MSS {
+			t.Fatalf("%s initial cwnd = %d", cc.Name(), cc.Cwnd())
+		}
+	}
+}
