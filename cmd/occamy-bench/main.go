@@ -1,0 +1,146 @@
+// occamy-bench snapshots the benchmark suite to a JSON file so the
+// repository's performance trajectory is recorded PR over PR.
+//
+// It shells out to `go test -bench` (so results match what a developer
+// sees), parses the standard benchmark output lines, and writes
+// BENCH_<date>.json containing every metric each benchmark reported
+// (ns/op, B/op, allocs/op, events/sec, ...).
+//
+// Usage:
+//
+//	occamy-bench                          # full suite, 1x iterations, BENCH_<today>.json
+//	occamy-bench -bench 'Engine|Switch'   # only the core micro-benchmarks
+//	occamy-bench -benchtime 2s -o out.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed output line.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file format.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Bench     string   `json:"bench_pattern"`
+	BenchTime string   `json:"benchtime"`
+	Packages  []string `json:"packages"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark pattern passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = one iteration smoke)")
+	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
+	pkgs := flag.String("pkgs", "./...", "packages to benchmark (comma-separated)")
+	flag.Parse()
+
+	pkgList := strings.Split(*pkgs, ",")
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
+	args = append(args, pkgList...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	fmt.Fprintf(os.Stderr, "running: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "occamy-bench: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Bench:     *bench,
+		BenchTime: *benchtime,
+		Packages:  pkgList,
+	}
+
+	pkg := ""
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// `ok  	occamy/internal/sim	2.608s` trails each package; `pkg:`
+		// lines lead them in verbose mode. Track whichever appears.
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			r.Package = pkg
+			snap.Results = append(snap.Results, r)
+		}
+	}
+
+	name := *out
+	if name == "" {
+		name = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occamy-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "occamy-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(snap.Results), name)
+}
+
+// parseBenchLine parses `BenchmarkX-8  100  123 ns/op  4 B/op  1 allocs/op
+// 5e6 events/sec` into a Result. Metric fields come in value-unit pairs.
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

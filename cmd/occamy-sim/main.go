@@ -5,9 +5,13 @@
 //	occamy-sim -fig fig12                 # one experiment, quick scale
 //	occamy-sim -fig all -scale medium     # everything, medium scale
 //	occamy-sim -fig fig17 -scale paper    # §6.4 at full 128-host scale (slow)
+//	occamy-sim -fig fig23 -j 8            # cap the sweep at 8 concurrent sims
 //
 // Scales: quick (test-sized, seconds), medium (a few minutes), paper
 // (the paper's dimensions; the leaf-spine runs take a long time).
+//
+// Sweep points within a figure run concurrently (-j, default
+// GOMAXPROCS); tables are byte-identical at any -j.
 package main
 
 import (
@@ -50,8 +54,10 @@ func scales(name string) (experiments.DPDKScale, experiments.FabricScale, int) {
 func main() {
 	fig := flag.String("fig", "all", "which experiment: table1, fig3, fig6, fig7, fig11, fig12, fig13..fig23, or all")
 	scale := flag.String("scale", "quick", "quick | medium | paper")
+	jobs := flag.Int("j", 0, "concurrent simulations per sweep (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
+	experiments.SetParallelism(*jobs)
 	d, f, queries := scales(*scale)
 	runners := map[string]func() []*experiments.Table{
 		"table1": func() []*experiments.Table {

@@ -19,7 +19,9 @@ import (
 func main() {
 	maxAlpha := flag.Float64("maxalpha", 16, "largest alpha to sweep (powers of two)")
 	n := flag.Int("queues", 1, "congested queues for the Eq.2 reservation")
+	jobs := flag.Int("j", 0, "concurrent simulations for the measured sweep (0 = GOMAXPROCS)")
 	flag.Parse()
+	experiments.SetParallelism(*jobs)
 
 	fmt.Println("Eq.2 steady-state free-buffer reservation F/B = 1/(1+alpha*n)")
 	fmt.Printf("%-8s %-14s %-18s\n", "alpha", "reserved", "one-queue occupancy")
@@ -38,9 +40,19 @@ func main() {
 
 	fmt.Println("\nmeasured maximum lossless burst (Fig 12 scenario, 1.2MB buffer)")
 	fmt.Printf("%-8s %-12s %-12s\n", "alpha", "occamy_KB", "dt_KB")
+	var alphas []float64
 	for a := 1.0; a <= *maxAlpha && a <= 8; a *= 2 {
-		occ := experiments.MaxLosslessBurst(experiments.OccamySpec(a, core.RoundRobin), 100_000, 900_000, 50_000)
-		dt := experiments.MaxLosslessBurst(experiments.DTSpec(a), 100_000, 900_000, 50_000)
-		fmt.Printf("%-8g %-12d %-12d\n", a, occ/1000, dt/1000)
+		alphas = append(alphas, a)
+	}
+	// Each alpha point runs two independent bisection sweeps; fan the
+	// points across the worker pool with deterministic output order.
+	rows := experiments.RunGrid(alphas, func(a float64) [2]int64 {
+		return [2]int64{
+			experiments.MaxLosslessBurst(experiments.OccamySpec(a, core.RoundRobin), 100_000, 900_000, 50_000),
+			experiments.MaxLosslessBurst(experiments.DTSpec(a), 100_000, 900_000, 50_000),
+		}
+	})
+	for i, a := range alphas {
+		fmt.Printf("%-8g %-12d %-12d\n", a, rows[i][0]/1000, rows[i][1]/1000)
 	}
 }

@@ -1,0 +1,3 @@
+module occamy
+
+go 1.24

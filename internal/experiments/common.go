@@ -7,6 +7,11 @@
 // test/bench scale (milliseconds of virtual time, few hosts) and at
 // paper scale (cmd/occamy-sim). EXPERIMENTS.md records paper-vs-measured
 // shapes for each.
+//
+// Figure sweeps are grids of independent simulations; they execute
+// through RunGrid, which fans points across a worker pool (see grid.go).
+// Results are always assembled in input order, so any parallelism level
+// — including the CLI -j flag — produces byte-identical tables.
 package experiments
 
 import (
@@ -144,6 +149,9 @@ type Injector struct {
 	Prio    int
 	PktSize int
 	FlowID  uint64
+	// Pool, when set, recycles packets: the experiment's sinks and drop
+	// hooks hand consumed packets back with Pool.Put.
+	Pool *pkt.Pool
 
 	Sent  int64
 	Bytes int64
@@ -156,13 +164,18 @@ func (in *Injector) packet() *pkt.Packet {
 	in.nextID++
 	in.Sent++
 	in.Bytes += int64(in.PktSize)
-	return &pkt.Packet{
-		ID:       in.nextID + in.FlowID<<32,
-		FlowID:   in.FlowID,
-		Dst:      in.Dst,
-		Size:     in.PktSize,
-		Priority: in.Prio,
+	var p *pkt.Packet
+	if in.Pool != nil {
+		p = in.Pool.Get()
+	} else {
+		p = &pkt.Packet{}
 	}
+	p.ID = in.nextID + in.FlowID<<32
+	p.FlowID = in.FlowID
+	p.Dst = in.Dst
+	p.Size = in.PktSize
+	p.Priority = in.Prio
+	return p
 }
 
 // StartCBR injects at a constant bit rate from `from` until Stop.
@@ -185,6 +198,25 @@ func (in *Injector) Stop() {
 	}
 }
 
+// burstState is the single self-rescheduling event behind Burst: instead
+// of pre-scheduling one closure per packet for the whole burst (n heap
+// entries and n allocations up front for a multi-MB burst), one typed
+// event re-arms itself until the burst is done.
+type burstState struct {
+	in        *Injector
+	remaining int64
+	gap       sim.Duration
+}
+
+// OnEvent implements sim.Handler.
+func (b *burstState) OnEvent(any) {
+	b.remaining--
+	b.in.Sw.Receive(b.in.packet())
+	if b.remaining > 0 {
+		b.in.Eng.AfterEvent(b.gap, b, nil)
+	}
+}
+
 // Burst injects totalBytes as back-to-back packets paced at rateBps
 // starting at `at` (e.g. a 100G sender bursting into a 10G port).
 func (in *Injector) Burst(at sim.Time, totalBytes int64, rateBps float64) {
@@ -193,8 +225,8 @@ func (in *Injector) Burst(at sim.Time, totalBytes int64, rateBps float64) {
 		gap = 1
 	}
 	n := totalBytes / int64(in.PktSize)
-	for i := int64(0); i < n; i++ {
-		t := at + sim.Duration(i)*gap
-		in.Eng.At(t, func() { in.Sw.Receive(in.packet()) })
+	if n <= 0 {
+		return
 	}
+	in.Eng.AtEvent(at, &burstState{in: in, remaining: n, gap: gap}, nil)
 }

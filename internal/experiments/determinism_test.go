@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// render flattens a table to the exact bytes the CLI would print.
+func render(t *Table) string {
+	var buf bytes.Buffer
+	t.Fprint(&buf)
+	return buf.String()
+}
+
+// tinyDPDK keeps the determinism runs to a few hundred milliseconds.
+func tinyDPDK() DPDKScale {
+	sc := QuickDPDK()
+	sc.Queries = 3
+	sc.SizeFracs = []float64{0.6}
+	return sc
+}
+
+func tinyFabric() FabricScale {
+	sc := QuickFabric()
+	sc.Queries = 2
+	sc.SizeFracs = []float64{0.4}
+	return sc
+}
+
+// Identical seeds must give byte-identical tables on repeated runs — the
+// engine's FIFO tie-break and the per-run RNG forks are the whole story.
+func TestDPDKExperimentDeterministic(t *testing.T) {
+	sc := tinyDPDK()
+	a := render(Fig13SoftwareSwitch(sc))
+	b := render(Fig13SoftwareSwitch(sc))
+	if a != b {
+		t.Fatalf("Fig13 differs across identical runs:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+func TestFabricExperimentDeterministic(t *testing.T) {
+	sc := tinyFabric()
+	a := render(Fig21RoundRobinDrop(sc))
+	b := render(Fig21RoundRobinDrop(sc))
+	if a != b {
+		t.Fatalf("Fig21 differs across identical runs:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+// The parallel sweep runner must not leak scheduling order into results:
+// -j 1 and -j N produce the same bytes.
+func TestGridParallelismInvariance(t *testing.T) {
+	sc := tinyDPDK()
+	defer SetParallelism(0)
+	SetParallelism(1)
+	serial := render(Fig13SoftwareSwitch(sc))
+	SetParallelism(4)
+	parallel := render(Fig13SoftwareSwitch(sc))
+	if serial != parallel {
+		t.Fatalf("Fig13 differs between -j 1 and -j 4:\n--- serial\n%s--- parallel\n%s", serial, parallel)
+	}
+}
+
+// RunGrid must preserve input order regardless of completion order.
+func TestRunGridOrdering(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(8)
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	got := RunGrid(points, func(p int) int { return p * p })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -240,6 +240,7 @@ func RunDPDK(cfg DPDKConfig) *DPDKResult {
 	q.Stop()
 	res.Timeouts = q.Timeouts()
 	res.Switch = net.Switches[0].Stats()
+	totalEvents.Add(net.Eng.Processed())
 	return res
 }
 

@@ -53,6 +53,11 @@ func Fig13SoftwareSwitch(sc DPDKScale) *Table {
 		Columns: []string{"size_frac", "policy", "avg_qct_ms", "p99_qct_ms",
 			"bg_avg_fct_ms", "small_bg_p99_ms", "rtos"},
 	}
+	type point struct {
+		frac float64
+		cfg  DPDKConfig
+	}
+	var pts []point
 	for _, frac := range sc.SizeFracs {
 		for _, spec := range StandardComparison() {
 			cfg := DPDKConfig{
@@ -60,12 +65,16 @@ func Fig13SoftwareSwitch(sc DPDKScale) *Table {
 				BgLoad: 0.5, Seed: sc.Seed,
 			}
 			cfg.QuerySize = int64(frac * float64(cfg.BufferBytes()))
-			r := RunDPDK(cfg)
-			small := r.Bg.Small(100_000)
-			t.AddRow(F(frac), spec.Name,
-				Ms(r.Query.MeanFCT()), Ms(r.Query.P99FCT()),
-				Ms(r.Bg.MeanFCT()), Ms(small.P99FCT()), F(float64(r.Timeouts)))
+			pts = append(pts, point{frac, cfg})
 		}
+	}
+	results := RunGrid(pts, func(p point) *DPDKResult { return RunDPDK(p.cfg) })
+	for i, p := range pts {
+		r := results[i]
+		small := r.Bg.Small(100_000)
+		t.AddRow(F(p.frac), p.cfg.Spec.Name,
+			Ms(r.Query.MeanFCT()), Ms(r.Query.P99FCT()),
+			Ms(r.Bg.MeanFCT()), Ms(small.P99FCT()), F(float64(r.Timeouts)))
 	}
 	return t
 }
@@ -79,6 +88,11 @@ func Fig14Isolation(sc DPDKScale) *Table {
 		Title:   "performance isolation: QCT vs background load (DRR, 2 classes)",
 		Columns: []string{"bg_load", "policy", "avg_qct_ms", "p99_qct_ms", "rtos"},
 	}
+	type point struct {
+		load float64
+		cfg  DPDKConfig
+	}
+	var pts []point
 	for _, load := range sc.Loads {
 		for _, spec := range StandardComparison() {
 			cfg := DPDKConfig{
@@ -88,10 +102,14 @@ func Fig14Isolation(sc DPDKScale) *Table {
 				BgLoad: load, BgCubic: true, Seed: sc.Seed,
 			}
 			cfg.QuerySize = int64(0.6 * float64(cfg.BufferBytes()))
-			r := RunDPDK(cfg)
-			t.AddRow(F(load), spec.Name,
-				Ms(r.Query.MeanFCT()), Ms(r.Query.P99FCT()), F(float64(r.Timeouts)))
+			pts = append(pts, point{load, cfg})
 		}
+	}
+	results := RunGrid(pts, func(p point) *DPDKResult { return RunDPDK(p.cfg) })
+	for i, p := range pts {
+		r := results[i]
+		t.AddRow(F(p.load), p.cfg.Spec.Name,
+			Ms(r.Query.MeanFCT()), Ms(r.Query.P99FCT()), F(float64(r.Timeouts)))
 	}
 	return t
 }
@@ -110,6 +128,11 @@ func Fig15BufferChoking(sc DPDKScale) *Table {
 	for _, f := range sc.SizeFracs {
 		fracs = append(fracs, f+1.0) // the paper sweeps 150–250% of buffer
 	}
+	type point struct {
+		frac float64
+		base DPDKConfig
+	}
+	var pts []point
 	for _, frac := range fracs {
 		for _, spec := range StandardComparison() {
 			base := DPDKConfig{
@@ -119,16 +142,21 @@ func Fig15BufferChoking(sc DPDKScale) *Table {
 				AlphaHP: 8, AlphaLP: 1, BgCubic: true, Seed: sc.Seed,
 			}
 			base.QuerySize = int64(frac * float64(base.BufferBytes()))
-			noBg := base
-			noBg.BgLoad = 0
-			withBg := base
-			withBg.BgLoad = 0.5
-			r0 := RunDPDK(noBg)
-			r1 := RunDPDK(withBg)
-			t.AddRow(F(frac), spec.Name,
-				Ms(r0.Query.MeanFCT()), Ms(r1.Query.MeanFCT()),
-				Ms(r0.Query.P99FCT()), Ms(r1.Query.P99FCT()))
+			pts = append(pts, point{frac, base})
 		}
+	}
+	results := RunGrid(pts, func(p point) [2]*DPDKResult {
+		noBg := p.base
+		noBg.BgLoad = 0
+		withBg := p.base
+		withBg.BgLoad = 0.5
+		return [2]*DPDKResult{RunDPDK(noBg), RunDPDK(withBg)}
+	})
+	for i, p := range pts {
+		r0, r1 := results[i][0], results[i][1]
+		t.AddRow(F(p.frac), p.base.Spec.Name,
+			Ms(r0.Query.MeanFCT()), Ms(r1.Query.MeanFCT()),
+			Ms(r0.Query.P99FCT()), Ms(r1.Query.P99FCT()))
 	}
 	return t
 }
@@ -141,23 +169,31 @@ func Fig16AlphaImpact(sc DPDKScale) *Table {
 		Title:   "impact of alpha on p99 QCT (DRR, 2 classes, bg 50%)",
 		Columns: []string{"alpha", "size_frac", "dt_p99_ms", "occamy_p99_ms"},
 	}
+	type point struct {
+		alpha, frac float64
+	}
+	var pts []point
 	for _, alpha := range sc.Alphas {
 		for _, frac := range sc.SizeFracs {
-			frac := frac + 0.6 // paper sweeps 100–180% of buffer
-			run := func(spec PolicySpec) *DPDKResult {
-				cfg := DPDKConfig{
-					Spec: spec, Hosts: sc.Hosts, Queries: sc.Queries,
-					Classes: 2, Scheduler: switchsim.SchedDRR,
-					QueryPriority: 0, BgPriority: 1,
-					BgLoad: 0.5, BgCubic: true, Seed: sc.Seed,
-				}
-				cfg.QuerySize = int64(frac * float64(cfg.BufferBytes()))
-				return RunDPDK(cfg)
-			}
-			dt := run(DTSpec(alpha))
-			occ := run(OccamySpec(alpha, 0))
-			t.AddRow(F(alpha), F(frac), Ms(dt.Query.P99FCT()), Ms(occ.Query.P99FCT()))
+			pts = append(pts, point{alpha, frac + 0.6}) // paper sweeps 100–180% of buffer
 		}
+	}
+	results := RunGrid(pts, func(p point) [2]*DPDKResult {
+		run := func(spec PolicySpec) *DPDKResult {
+			cfg := DPDKConfig{
+				Spec: spec, Hosts: sc.Hosts, Queries: sc.Queries,
+				Classes: 2, Scheduler: switchsim.SchedDRR,
+				QueryPriority: 0, BgPriority: 1,
+				BgLoad: 0.5, BgCubic: true, Seed: sc.Seed,
+			}
+			cfg.QuerySize = int64(p.frac * float64(cfg.BufferBytes()))
+			return RunDPDK(cfg)
+		}
+		return [2]*DPDKResult{run(DTSpec(p.alpha)), run(OccamySpec(p.alpha, 0))}
+	})
+	for i, p := range pts {
+		dt, occ := results[i][0], results[i][1]
+		t.AddRow(F(p.alpha), F(p.frac), Ms(dt.Query.P99FCT()), Ms(occ.Query.P99FCT()))
 	}
 	return t
 }

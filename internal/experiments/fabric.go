@@ -227,6 +227,7 @@ func RunFabric(cfg FabricConfig) *FabricResult {
 		q.Stop()
 		res.Timeouts = q.Timeouts()
 	}
+	totalEvents.Add(net.Eng.Processed())
 	for _, sw := range net.Switches {
 		st := sw.Stats()
 		res.Stats.RxPackets += st.RxPackets

@@ -62,6 +62,22 @@ func addSlowdownRow(t *Table, label, policy string, r *FabricResult) {
 
 var slowdownCols = []string{"x", "policy", "qct_avg_slow", "qct_p99_slow", "bg_avg_slow", "small_bg_p99_slow"}
 
+// fabricPoint is one cell of a fabric sweep grid.
+type fabricPoint struct {
+	label string
+	cfg   FabricConfig
+}
+
+// runFabricSweep executes the grid points concurrently (RunGrid) and
+// appends one slowdown row per point, in input order, so the table is
+// identical at any parallelism.
+func runFabricSweep(t *Table, pts []fabricPoint) {
+	results := RunGrid(pts, func(p fabricPoint) *FabricResult { return RunFabric(p.cfg) })
+	for i, p := range pts {
+		addSlowdownRow(t, p.label, p.cfg.Spec.Name, results[i])
+	}
+}
+
 // Fig7Utilization: CDF of buffer utilization on drop for DT α ∈ {0.5,1}
 // (a), and of memory-bandwidth utilization at loads {20,40,90}% (b) —
 // the §3 motivation measurements.
@@ -79,30 +95,38 @@ func Fig7Utilization(sc FabricScale) (bufT, bwT *Table) {
 		}
 		return out
 	}
-	for _, alpha := range []float64{0.5, 1} {
-		cfg := sc.base(DTSpec(alpha))
-		cfg.Bg = BgWebSearch
-		cfg.BgLoad = 0.4
-		cfg.QuerySize = int64(0.6 * float64(cfg.withDefaults().leafBufferBytes()))
-		cfg.CollectUtil = true
-		r := RunFabric(cfg)
-		row := append([]string{F(alpha)}, quant(r.BufUtil)...)
-		bufT.AddRow(row...)
-	}
 	bwT = &Table{
 		ID:      "fig7b",
 		Title:   "memory bandwidth utilization on drop (CDF quantiles)",
 		Columns: []string{"load", "p25", "p50", "p75", "p99"},
 	}
-	for _, load := range []float64{0.2, 0.4, 0.9} {
+	// Both panels sweep independent runs: fan the five points out together.
+	alphas := []float64{0.5, 1}
+	loads := []float64{0.2, 0.4, 0.9}
+	var pts []fabricPoint
+	for _, alpha := range alphas {
+		cfg := sc.base(DTSpec(alpha))
+		cfg.Bg = BgWebSearch
+		cfg.BgLoad = 0.4
+		cfg.QuerySize = int64(0.6 * float64(cfg.withDefaults().leafBufferBytes()))
+		cfg.CollectUtil = true
+		pts = append(pts, fabricPoint{F(alpha), cfg})
+	}
+	for _, load := range loads {
 		cfg := sc.base(DTSpec(0.5))
 		cfg.Bg = BgWebSearch
 		cfg.BgLoad = load
 		cfg.QuerySize = int64(0.6 * float64(cfg.withDefaults().leafBufferBytes()))
 		cfg.CollectUtil = true
-		r := RunFabric(cfg)
-		row := append([]string{F(load)}, quant(r.MemBWUtil)...)
-		bwT.AddRow(row...)
+		pts = append(pts, fabricPoint{F(load), cfg})
+	}
+	results := RunGrid(pts, func(p fabricPoint) *FabricResult { return RunFabric(p.cfg) })
+	for i := range alphas {
+		bufT.AddRow(append([]string{pts[i].label}, quant(results[i].BufUtil)...)...)
+	}
+	for i := range loads {
+		r := results[len(alphas)+i]
+		bwT.AddRow(append([]string{pts[len(alphas)+i].label}, quant(r.MemBWUtil)...)...)
 	}
 	return bufT, bwT
 }
@@ -112,16 +136,17 @@ func Fig7Utilization(sc FabricScale) (bufT, bwT *Table) {
 func Fig17LargeScale(sc FabricScale) *Table {
 	t := &Table{ID: "fig17", Title: "large-scale: slowdowns vs query size (bg web-search 90%)",
 		Columns: slowdownCols}
+	var pts []fabricPoint
 	for _, frac := range sc.SizeFracs {
 		for _, spec := range StandardComparison() {
 			cfg := sc.base(spec)
 			cfg.Bg = BgWebSearch
 			cfg.BgLoad = 0.9
 			cfg.QuerySize = int64(frac * float64(cfg.withDefaults().leafBufferBytes()))
-			r := RunFabric(cfg)
-			addSlowdownRow(t, F(frac), spec.Name, r)
+			pts = append(pts, fabricPoint{F(frac), cfg})
 		}
 	}
+	runFabricSweep(t, pts)
 	return t
 }
 
@@ -137,6 +162,7 @@ func Fig19AllReduce(sc FabricScale) *Table {
 
 func collectiveFig(id, title string, kind BgKind, sc FabricScale) *Table {
 	t := &Table{ID: id, Title: title + ": slowdowns vs flow size", Columns: slowdownCols}
+	var pts []fabricPoint
 	for _, fs := range sc.FlowSizes {
 		for _, spec := range StandardComparison() {
 			cfg := sc.base(spec)
@@ -144,10 +170,10 @@ func collectiveFig(id, title string, kind BgKind, sc FabricScale) *Table {
 			cfg.BgLoad = 0.5
 			cfg.BgFlowSize = fs
 			cfg.QuerySize = int64(0.6 * float64(cfg.withDefaults().leafBufferBytes()))
-			r := RunFabric(cfg)
-			addSlowdownRow(t, F(float64(fs)/1000), spec.Name, r)
+			pts = append(pts, fabricPoint{F(float64(fs) / 1000), cfg})
 		}
 	}
+	runFabricSweep(t, pts)
 	return t
 }
 
@@ -155,6 +181,7 @@ func collectiveFig(id, title string, kind BgKind, sc FabricScale) *Table {
 func Fig20QueryLoad(sc FabricScale) *Table {
 	t := &Table{ID: "fig20", Title: "higher query load: slowdowns vs query load",
 		Columns: slowdownCols}
+	var pts []fabricPoint
 	for _, load := range sc.QueryLoads {
 		for _, spec := range StandardComparison() {
 			cfg := sc.base(spec)
@@ -165,10 +192,10 @@ func Fig20QueryLoad(sc FabricScale) *Table {
 			// Query load -> interval: load = size / (interval × link).
 			ivl := float64(cfg.QuerySize*8) / (load * cfg.withDefaults().HostLinkBps)
 			cfg.QueryInterval = secToDur(ivl)
-			r := RunFabric(cfg)
-			addSlowdownRow(t, F(load), spec.Name, r)
+			pts = append(pts, fabricPoint{F(load), cfg})
 		}
 	}
+	runFabricSweep(t, pts)
 	return t
 }
 
@@ -177,6 +204,7 @@ func Fig20QueryLoad(sc FabricScale) *Table {
 func Fig21RoundRobinDrop(sc FabricScale) *Table {
 	t := &Table{ID: "fig21", Title: "round-robin vs longest-queue drop (bg 40%)",
 		Columns: slowdownCols}
+	var pts []fabricPoint
 	for _, frac := range sc.SizeFracs {
 		for _, spec := range []PolicySpec{
 			OccamySpec(8, core.RoundRobin), OccamySpec(8, core.LongestQueue),
@@ -185,10 +213,10 @@ func Fig21RoundRobinDrop(sc FabricScale) *Table {
 			cfg.Bg = BgWebSearch
 			cfg.BgLoad = 0.4
 			cfg.QuerySize = int64(frac * float64(cfg.withDefaults().leafBufferBytes()))
-			r := RunFabric(cfg)
-			addSlowdownRow(t, F(frac), spec.Name, r)
+			pts = append(pts, fabricPoint{F(frac), cfg})
 		}
 	}
+	runFabricSweep(t, pts)
 	return t
 }
 
@@ -197,16 +225,17 @@ func Fig21RoundRobinDrop(sc FabricScale) *Table {
 func Fig22HeavyLoad(sc FabricScale) *Table {
 	t := &Table{ID: "fig22", Title: "120% background load: slowdowns vs query size",
 		Columns: slowdownCols}
+	var pts []fabricPoint
 	for _, frac := range sc.SizeFracs {
 		for _, spec := range StandardComparison() {
 			cfg := sc.base(spec)
 			cfg.Bg = BgWebSearch
 			cfg.BgLoad = 1.2
 			cfg.QuerySize = int64(frac * float64(cfg.withDefaults().leafBufferBytes()))
-			r := RunFabric(cfg)
-			addSlowdownRow(t, F(frac), spec.Name, r)
+			pts = append(pts, fabricPoint{F(frac), cfg})
 		}
 	}
+	runFabricSweep(t, pts)
 	return t
 }
 
@@ -215,6 +244,7 @@ func Fig22HeavyLoad(sc FabricScale) *Table {
 func Fig23BufferSize(sc FabricScale) *Table {
 	t := &Table{ID: "fig23", Title: "buffer size sweep: slowdowns vs KB/port/Gbps",
 		Columns: slowdownCols}
+	var pts []fabricPoint
 	for _, factor := range sc.BufferFactors {
 		for _, spec := range StandardComparison() {
 			cfg := sc.base(spec)
@@ -222,10 +252,10 @@ func Fig23BufferSize(sc FabricScale) *Table {
 			cfg.BgLoad = 0.4
 			cfg.BufferKBPerPortPerGbps = factor
 			cfg.QuerySize = int64(0.4 * float64(cfg.withDefaults().leafBufferBytes()))
-			r := RunFabric(cfg)
-			addSlowdownRow(t, F(factor), spec.Name, r)
+			pts = append(pts, fabricPoint{F(factor), cfg})
 		}
 	}
+	runFabricSweep(t, pts)
 	return t
 }
 

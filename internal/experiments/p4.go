@@ -113,8 +113,11 @@ func RunQueueTrace(cfg QueueTraceConfig) QueueTraceResult {
 		Policy:         policy,
 		Occamy:         occ,
 	})
+	// All packets here are raw injections, so both consumption points —
+	// egress delivery and drops — recycle through one freelist.
+	pool := pkt.NewPool()
 	for i := 0; i < cfg.ChipPorts; i++ {
-		sw.AttachPort(i, cfg.PortRateBps, 0, func(*pkt.Packet) {})
+		sw.AttachPort(i, cfg.PortRateBps, 0, pool.Put)
 	}
 	sw.SetRouter(func(p *pkt.Packet) int { return int(p.Dst) })
 
@@ -127,11 +130,12 @@ func RunQueueTrace(cfg QueueTraceConfig) QueueTraceResult {
 		case longFlow:
 			res.LongDrops++
 		}
+		pool.Put(p)
 	}
 
-	long := &Injector{Eng: eng, Sw: sw, Dst: 0, PktSize: cfg.PktSize, FlowID: longFlow}
+	long := &Injector{Eng: eng, Sw: sw, Dst: 0, PktSize: cfg.PktSize, FlowID: longFlow, Pool: pool}
 	long.StartCBR(0, cfg.LongRateBps)
-	burst := &Injector{Eng: eng, Sw: sw, Dst: 1, PktSize: cfg.PktSize, FlowID: burstFlow}
+	burst := &Injector{Eng: eng, Sw: sw, Dst: 1, PktSize: cfg.PktSize, FlowID: burstFlow, Pool: pool}
 	burst.Burst(cfg.BurstAt, cfg.BurstBytes, cfg.BurstRateBps)
 
 	if cfg.SampleEvery > 0 {
@@ -150,6 +154,7 @@ func RunQueueTrace(cfg QueueTraceConfig) QueueTraceResult {
 	eng.RunUntil(cfg.RunFor)
 	long.Stop()
 	eng.Stop()
+	totalEvents.Add(eng.Processed())
 
 	res.BurstSent = burst.Sent
 	res.Expelled = sw.Stats().DropsExpelled

@@ -13,7 +13,8 @@ import (
 
 // Host is an end node: a NIC that serializes outgoing packets at link
 // rate and dispatches incoming packets to per-flow transport handlers.
-// It implements transport.Net.
+// It implements transport.Net, and sim.Handler for its own NIC events so
+// the per-packet serialization/delivery path schedules without closures.
 type Host struct {
 	ID  pkt.NodeID
 	eng *sim.Engine
@@ -21,6 +22,7 @@ type Host struct {
 	rateBps float64
 	prop    sim.Duration
 	sink    func(*pkt.Packet) // toward the first-hop switch
+	pool    *pkt.Pool         // engine-wide packet freelist (may be nil)
 
 	// The NIC serves strict-priority transmit queues (priority 0
 	// first), mirroring the multi-queue hosts of the paper's testbed.
@@ -36,6 +38,10 @@ const maxHostPrios = 8
 func NewHost(eng *sim.Engine, id pkt.NodeID) *Host {
 	return &Host{ID: id, eng: eng, handlers: make(map[uint64]transport.Handler)}
 }
+
+// UsePool installs the engine-wide packet freelist: NewPacket draws from
+// it and Deliver recycles consumed packets into it.
+func (h *Host) UsePool(pool *pkt.Pool) { h.pool = pool }
 
 // Wire attaches the host's NIC to its first-hop link.
 func (h *Host) Wire(rateBps float64, prop sim.Duration, sink func(*pkt.Packet)) {
@@ -54,8 +60,17 @@ func (h *Host) Now() sim.Time { return h.eng.Now() }
 func (h *Host) After(d sim.Duration, fn func()) { h.eng.After(d, fn) }
 
 // AfterTimer implements transport.Net.
-func (h *Host) AfterTimer(d sim.Duration, fn func()) *sim.Timer {
+func (h *Host) AfterTimer(d sim.Duration, fn func()) sim.Timer {
 	return h.eng.AfterTimer(d, fn)
+}
+
+// NewPacket implements transport.Net: a zeroed packet from the network
+// freelist (or the heap when no pool is installed).
+func (h *Host) NewPacket() *pkt.Packet {
+	if h.pool != nil {
+		return h.pool.Get()
+	}
+	return &pkt.Packet{}
 }
 
 // Send implements transport.Net: enqueue on the NIC and serialize.
@@ -94,19 +109,33 @@ func (h *Host) trySend() {
 		tx = 1
 	}
 	h.busy = true
-	h.eng.After(tx, func() {
-		h.busy = false
-		h.trySend()
-	})
-	h.eng.After(tx+h.prop, func() { h.sink(p) })
+	// Typed events: nil arg = serialization done, packet arg = delivery
+	// at the far end. Scheduling order keeps the tx-done event first when
+	// prop is zero, as the closure-based path did.
+	h.eng.AfterEvent(tx, h, nil)
+	h.eng.AfterEvent(tx+h.prop, h, p)
+}
+
+// OnEvent implements sim.Handler for the NIC's two per-packet events.
+func (h *Host) OnEvent(arg any) {
+	if p, ok := arg.(*pkt.Packet); ok {
+		h.sink(p)
+		return
+	}
+	h.busy = false
+	h.trySend()
 }
 
 // Deliver hands an arriving packet to the flow's registered handler.
 // Packets for unknown flows are dropped silently (late retransmissions
-// of completed flows).
+// of completed flows). A delivered packet is consumed: handlers copy
+// what they need during OnPacket, so the packet is recycled afterwards.
 func (h *Host) Deliver(p *pkt.Packet) {
 	if hd := h.handlers[p.FlowID]; hd != nil {
 		hd.OnPacket(p)
+	}
+	if h.pool != nil {
+		h.pool.Put(p)
 	}
 }
 

@@ -13,6 +13,8 @@ type Network struct {
 	Rand     *sim.Rand
 	Hosts    []*Host
 	Switches []*switchsim.Switch
+	// Pool is the engine-wide packet freelist shared by every host.
+	Pool *pkt.Pool
 
 	nextFlow uint64
 }

@@ -39,9 +39,11 @@ func SingleSwitch(cfg SingleSwitchConfig) *Network {
 		Eng:      eng,
 		Rand:     sim.NewRand(cfg.Seed),
 		Switches: []*switchsim.Switch{sw},
+		Pool:     pkt.NewPool(),
 	}
 	for i := 0; i < n; i++ {
 		h := NewHost(eng, pkt.NodeID(i))
+		h.UsePool(net.Pool)
 		h.Wire(cfg.HostRates[i], cfg.LinkDelay, sw.Receive)
 		sw.AttachPort(i, cfg.HostRates[i], cfg.LinkDelay, h.Deliver)
 		net.Hosts = append(net.Hosts, h)
@@ -93,7 +95,7 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 		panic("netsim: leaf-spine dimensions must be positive")
 	}
 	eng := sim.NewEngine()
-	net := &Network{Eng: eng, Rand: sim.NewRand(cfg.Seed)}
+	net := &Network{Eng: eng, Rand: sim.NewRand(cfg.Seed), Pool: pkt.NewPool()}
 
 	leaves := make([]*switchsim.Switch, cfg.Leaves)
 	spines := make([]*switchsim.Switch, cfg.Spines)
@@ -119,6 +121,7 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 		for i := 0; i < cfg.HostsPerLeaf; i++ {
 			id := pkt.NodeID(l*cfg.HostsPerLeaf + i)
 			h := NewHost(eng, id)
+			h.UsePool(net.Pool)
 			leaf := leaves[l]
 			h.Wire(cfg.HostLinkBps, cfg.LinkDelay, leaf.Receive)
 			leaf.AttachPort(i, cfg.HostLinkBps, cfg.LinkDelay, h.Deliver)

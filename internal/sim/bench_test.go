@@ -31,6 +31,29 @@ func BenchmarkEngineTimerChurn(b *testing.B) {
 	e.Run()
 }
 
+type benchHandler struct{ n int }
+
+func (h *benchHandler) OnEvent(any) { h.n++ }
+
+// BenchmarkEngineTypedEvent measures the zero-capture scheduling path
+// the switch and host datapaths use.
+func BenchmarkEngineTypedEvent(b *testing.B) {
+	e := NewEngine()
+	h := &benchHandler{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.AfterEvent(1, h, nil)
+		if e.Pending() > 1024 {
+			e.RunFor(2048)
+		}
+	}
+	e.Run()
+	if h.n != b.N {
+		b.Fatalf("handled %d events, want %d", h.n, b.N)
+	}
+	b.ReportMetric(float64(e.Processed())/b.Elapsed().Seconds(), "events/sec")
+}
+
 func BenchmarkRandUint64(b *testing.B) {
 	r := NewRand(1)
 	var sink uint64

@@ -2,13 +2,40 @@
 //
 // All simulators in this repository (the shared-memory switch model, the
 // transport stack, and the network-level experiments) are driven by a
-// single Engine: a virtual clock plus a binary-heap event queue. Events
+// single Engine: a virtual clock plus a priority event queue. Events
 // scheduled for the same instant fire in scheduling order, which makes
 // every run bit-for-bit reproducible given the same seed.
+//
+// # Engine architecture
+//
+// The event queue is a hand-rolled 4-ary min-heap stored in a flat
+// []event slice of value-type events — no per-event heap allocation and
+// no container/heap interface boxing. A 4-ary layout halves the tree
+// depth of a binary heap, turning pop's cache-missing parent-child
+// pointer chases into mostly-linear scans of four adjacent siblings;
+// push stays O(log4 n). Ordering is (timestamp, seq): seq is a
+// monotonically increasing scheduling counter, so same-timestamp events
+// fire in FIFO scheduling order.
+//
+// Events come in two flavors:
+//
+//   - Closure events (At/After/AfterTimer/Every): the event carries a
+//     func(). Convenient, but each distinct capture allocates a closure
+//     at the call site.
+//   - Typed events (AtEvent/AfterEvent): the event carries a Handler
+//     interface plus an opaque arg. Hot paths (switch ports, host NICs)
+//     implement Handler once and schedule with zero allocations —
+//     storing a pointer in an `any` does not allocate.
+//
+// Timer cancellation uses generation counters instead of a *bool per
+// timer: the engine keeps a freelist of timer slots, each with a
+// generation that is bumped when the slot's event is consumed. A Timer
+// handle is a value (slot index + generation); Stop is valid only while
+// the generations match, so handles held after firing or slot reuse
+// harmlessly report false. Arming a timer performs no heap allocation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -52,57 +79,55 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback. seq breaks ties so that events at the
-// same timestamp run in FIFO scheduling order.
+// Handler receives typed events scheduled with AtEvent/AfterEvent. A
+// single object may multiplex several event kinds by distinguishing on
+// arg (e.g. nil vs a packet pointer).
+type Handler interface {
+	OnEvent(arg any)
+}
+
+// event is a scheduled callback, stored by value in the heap slice. seq
+// breaks ties so that events at the same timestamp run in FIFO
+// scheduling order. Exactly one of fn/h is set. slot is the 1-based
+// timer-slot index for cancelable events, 0 otherwise.
 type event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	cancel *bool // non-nil when the event is cancelable
-	index  int
+	at   Time
+	seq  uint64
+	fn   func()
+	h    Handler
+	arg  any
+	slot int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// evLess orders events by (timestamp, scheduling order).
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// timerSlot is the engine-side state of one cancelable timer. Slots are
+// recycled through a freelist once their event is consumed; gen
+// invalidates stale Timer handles across reuses.
+type timerSlot struct {
+	gen      uint64
+	canceled bool
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; simulations are deterministic single-goroutine
-// programs by design.
+// programs by design (run concurrent sweeps with one Engine per
+// goroutine instead).
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    eventHeap
+	events    []event // 4-ary min-heap
 	processed uint64
 	stopped   bool
+
+	slots     []timerSlot
+	freeSlots []int32
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -119,6 +144,65 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Processed returns the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// --- 4-ary heap ------------------------------------------------------------
+
+// push appends ev and restores the heap property by sifting up.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	s := e.events
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(&ev, &s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = ev
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	s := e.events
+	root := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = event{} // release fn/h/arg references
+	e.events = s[:n]
+	if n > 0 {
+		// Sift last down from the root: at each level pick the smallest
+		// of up to four adjacent children.
+		s = e.events
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for k := c + 1; k < end; k++ {
+				if evLess(&s[k], &s[m]) {
+					m = k
+				}
+			}
+			if !evLess(&s[m], &last) {
+				break
+			}
+			s[i] = s[m]
+			i = m
+		}
+		s[i] = last
+	}
+	return root
+}
+
+// --- Scheduling ------------------------------------------------------------
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: that is always a simulation bug, not a recoverable state.
 func (e *Engine) At(t Time, fn func()) {
@@ -126,7 +210,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -137,36 +221,74 @@ func (e *Engine) After(d Duration, fn func()) {
 	e.At(e.now+d, fn)
 }
 
-// Timer is a cancelable scheduled event.
+// AtEvent schedules a typed event: h.OnEvent(arg) runs at absolute time
+// t. Unlike At, no closure is involved — callers that implement Handler
+// schedule without any allocation.
+func (e *Engine) AtEvent(t Time, h Handler, arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, h: h, arg: arg})
+}
+
+// AfterEvent schedules h.OnEvent(arg) d nanoseconds from now.
+func (e *Engine) AfterEvent(d Duration, h Handler, arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", int64(d)))
+	}
+	e.AtEvent(e.now+d, h, arg)
+}
+
+// Timer is a cancelable scheduled event. It is a small value: copy it
+// freely. The zero Timer is valid and behaves like an already-fired one.
 type Timer struct {
-	canceled *bool
-	at       Time
+	e    *Engine
+	slot int32
+	gen  uint64
+	at   Time
 }
 
 // Stop cancels the timer. It is safe to call Stop multiple times and
 // after the timer has fired (in which case it has no effect). It reports
 // whether the call prevented the timer from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.canceled == nil || *t.canceled {
+func (t Timer) Stop() bool {
+	if t.e == nil {
 		return false
 	}
-	*t.canceled = true
+	sl := &t.e.slots[t.slot]
+	if sl.gen != t.gen || sl.canceled {
+		return false // fired, or slot reused by a newer timer
+	}
+	sl.canceled = true
 	return true
 }
 
 // Deadline returns the virtual time at which the timer fires.
-func (t *Timer) Deadline() Time { return t.at }
+func (t Timer) Deadline() Time { return t.at }
 
-// AfterTimer schedules fn after d and returns a handle that can cancel it.
-func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
+// AfterTimer schedules fn after d and returns a handle that can cancel
+// it. Arming allocates nothing: the timer state lives in a recycled
+// engine slot and the handle is returned by value.
+func (e *Engine) AfterTimer(d Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", int64(d)))
 	}
-	canceled := new(bool)
+	var si int32
+	if n := len(e.freeSlots); n > 0 {
+		si = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+	} else {
+		e.slots = append(e.slots, timerSlot{})
+		si = int32(len(e.slots) - 1)
+	}
+	sl := &e.slots[si]
+	sl.gen++
+	sl.canceled = false
 	at := e.now + d
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn, cancel: canceled})
-	return &Timer{canceled: canceled, at: at}
+	e.push(event{at: at, seq: e.seq, fn: fn, slot: si + 1})
+	return Timer{e: e, slot: si, gen: sl.gen, at: at}
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
@@ -178,20 +300,30 @@ func (e *Engine) step(limit Time) bool {
 	if e.stopped || len(e.events) == 0 {
 		return false
 	}
-	next := e.events[0]
-	if next.at > limit {
+	if e.events[0].at > limit {
 		return false
 	}
-	heap.Pop(&e.events)
-	e.now = next.at
-	if next.cancel != nil {
-		if *next.cancel {
+	ev := e.pop()
+	e.now = ev.at
+	if ev.slot > 0 {
+		sl := &e.slots[ev.slot-1]
+		canceled := sl.canceled
+		// Consuming the event retires the slot: bump the generation so a
+		// later Stop (including from inside the callback) reports false,
+		// then recycle the slot.
+		sl.gen++
+		sl.canceled = false
+		e.freeSlots = append(e.freeSlots, ev.slot-1)
+		if canceled {
 			return true // canceled timer: consume silently
 		}
-		*next.cancel = true // fired: a later Stop must report false
 	}
 	e.processed++
-	next.fn()
+	if ev.h != nil {
+		ev.h.OnEvent(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -221,9 +353,13 @@ type Ticker struct {
 }
 
 // Stop halts the ticker after the current occurrence (if any) completes.
+// Stopping from inside the tick callback is safe and prevents the next
+// occurrence from being scheduled.
 func (t *Ticker) Stop() { t.stopped = true }
 
 // Every starts a periodic event with the given start offset and period.
+// The tick closure is allocated once; each recurrence reuses it, so a
+// running ticker schedules with zero per-tick allocations.
 func (e *Engine) Every(start Duration, period Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")

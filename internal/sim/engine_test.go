@@ -156,6 +156,122 @@ func TestTicker(t *testing.T) {
 	}
 }
 
+// A fired timer's handle must be fully inert — even when Stop is called
+// from inside the timer's own callback.
+func TestTimerStopInsideOwnCallback(t *testing.T) {
+	e := NewEngine()
+	var tm Timer
+	stopped := true
+	tm = e.AfterTimer(10, func() { stopped = tm.Stop() })
+	e.Run()
+	if stopped {
+		t.Fatal("Stop from inside the firing callback returned true")
+	}
+}
+
+// A stale handle from a fired timer must not cancel a newer timer that
+// recycled the same slot.
+func TestTimerSlotReuseIsolation(t *testing.T) {
+	e := NewEngine()
+	old := e.AfterTimer(1, func() {})
+	e.Run() // fires; slot returns to the freelist
+	fired := false
+	fresh := e.AfterTimer(5, func() { fired = true }) // reuses the slot
+	if old.Stop() {
+		t.Fatal("stale handle Stop returned true")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle canceled the reused slot's timer")
+	}
+	if fresh.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+// The zero Timer behaves like an already-fired timer.
+func TestZeroTimerStop(t *testing.T) {
+	var tm Timer
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop returned true")
+	}
+	if tm.Deadline() != 0 {
+		t.Fatal("zero Timer Deadline non-zero")
+	}
+}
+
+// Stopping a ticker from inside its own tick must prevent any further
+// occurrence and let the engine drain.
+func TestTickerStopFromOwnTick(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.Every(0, 7, func() {
+		n++
+		tk.Stop()
+	})
+	e.Run()
+	if n != 1 {
+		t.Fatalf("ticks after self-stop = %d, want 1", n)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after stopped ticker, want 0", e.Pending())
+	}
+}
+
+type recordHandler struct {
+	got *[]int
+}
+
+func (h recordHandler) OnEvent(arg any) { *h.got = append(*h.got, arg.(int)) }
+
+// Typed events and closure events at the same timestamp interleave in
+// scheduling order — the determinism contract is flavor-blind.
+func TestTypedEventFIFOWithClosures(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	h := recordHandler{&got}
+	e.At(5, func() { got = append(got, 0) })
+	e.AtEvent(5, h, 1)
+	e.At(5, func() { got = append(got, 2) })
+	e.AtEvent(5, h, 3)
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed same-time events out of order: %v", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("ran %d events, want 4", len(got))
+	}
+}
+
+type nopHandler struct{}
+
+func (nopHandler) OnEvent(any) {}
+
+// The hot scheduling paths must not allocate (beyond amortized heap
+// slice growth, which a warmed engine avoids).
+func TestSchedulingDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	var h nopHandler
+	fn := func() {}
+	// Warm the heap and slot freelist.
+	for i := 0; i < 1024; i++ {
+		e.AfterTimer(Duration(i), fn).Stop()
+		e.AtEvent(Time(i), h, nil)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.AfterTimer(10, fn).Stop()
+		e.AtEvent(e.Now()+1, h, nil)
+		e.RunFor(2)
+	})
+	if allocs > 0 {
+		t.Fatalf("scheduling allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		in   Time

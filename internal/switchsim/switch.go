@@ -95,15 +95,30 @@ type classQueue struct {
 }
 
 // port is one egress port: a link (rate + propagation + sink) and the
-// per-class queues.
+// per-class queues. It implements sim.Handler for its two per-packet
+// events — tx-done (nil arg) and far-end delivery (*pkt.Packet arg) — so
+// the transmit path schedules without closure allocations.
 type port struct {
 	id      int
+	sw      *Switch
 	rateBps float64
 	prop    sim.Duration
 	sink    func(*pkt.Packet)
 	busy    bool
 	classes []*classQueue
 	sched   scheduler
+}
+
+// OnEvent implements sim.Handler: a packet arg is a delivery at the far
+// end of the link; a nil arg marks the end of serialization, freeing the
+// link for the next packet.
+func (pt *port) OnEvent(arg any) {
+	if p, ok := arg.(*pkt.Packet); ok {
+		pt.sink(p)
+		return
+	}
+	pt.busy = false
+	pt.sw.tryTransmit(pt)
 }
 
 // Switch is a shared-memory switch instance.
@@ -169,7 +184,7 @@ func New(name string, eng *sim.Engine, cfg Config) *Switch {
 	}
 	s.ports = make([]*port, cfg.Ports)
 	for i := range s.ports {
-		pt := &port{id: i, sched: newScheduler(cfg.Scheduler, cfg.ClassesPerPort, cfg.DRRQuantum)}
+		pt := &port{id: i, sw: s, sched: newScheduler(cfg.Scheduler, cfg.ClassesPerPort, cfg.DRRQuantum)}
 		pt.classes = make([]*classQueue, cfg.ClassesPerPort)
 		for c := range pt.classes {
 			cq := &classQueue{
@@ -412,11 +427,10 @@ func (s *Switch) tryTransmit(pt *port) {
 		txTime = 1
 	}
 	pt.busy = true
-	s.eng.After(txTime, func() {
-		pt.busy = false
-		s.tryTransmit(pt)
-	})
-	s.eng.After(txTime+pt.prop, func() { pt.sink(p) })
+	// Two typed events per packet instead of two closures: tx-done first,
+	// delivery second (same relative order when prop is zero).
+	s.eng.AfterEvent(txTime, pt, nil)
+	s.eng.AfterEvent(txTime+pt.prop, pt, p)
 }
 
 // MemBandwidthUtilization returns the fraction of the switch's aggregate

@@ -1,17 +1,22 @@
 package transport
 
 import (
+	"sync/atomic"
+
 	"occamy/internal/pkt"
 	"occamy/internal/sim"
 )
 
 // Net is the interface a flow endpoint needs from its host: virtual
-// time, timers, and packet injection into the network. It is implemented
-// by netsim.Host.
+// time, timers, packet allocation, and packet injection into the
+// network. It is implemented by netsim.Host.
 type Net interface {
 	Now() sim.Time
 	After(d sim.Duration, fn func())
-	AfterTimer(d sim.Duration, fn func()) *sim.Timer
+	AfterTimer(d sim.Duration, fn func()) sim.Timer
+	// NewPacket returns a zeroed packet, typically from the network's
+	// freelist so the per-packet allocation disappears from the hot path.
+	NewPacket() *pkt.Packet
 	Send(p *pkt.Packet)
 }
 
@@ -67,11 +72,11 @@ func (o Options) WithDefaults() Options {
 	return o
 }
 
-// nextPktID hands out globally unique packet IDs. The simulator is
-// single-threaded, so a plain counter suffices.
-var nextPktID uint64
+// nextPktID hands out globally unique packet IDs. It is atomic so that
+// independent engines may run concurrently (the parallel sweep runner);
+// IDs only need to be unique, they never influence simulation behavior.
+var nextPktID atomic.Uint64
 
 func newPktID() uint64 {
-	nextPktID++
-	return nextPktID
+	return nextPktID.Add(1)
 }

@@ -54,18 +54,18 @@ func (r *Receiver) OnPacket(p *pkt.Packet) {
 		}
 	}
 	// ACK every data packet; echo this packet's CE mark.
-	r.net.Send(&pkt.Packet{
-		ID:       newPktID(),
-		FlowID:   r.spec.ID,
-		Src:      r.spec.Dst,
-		Dst:      r.spec.Src,
-		Size:     pkt.AckBytes,
-		Ack:      true,
-		AckNo:    r.rcvNxt,
-		ECNEcho:  p.CE,
-		Priority: p.Priority,
-		SentAt:   p.SentAt, // echoed for the sender's RTT sample
-	})
+	ack := r.net.NewPacket()
+	ack.ID = newPktID()
+	ack.FlowID = r.spec.ID
+	ack.Src = r.spec.Dst
+	ack.Dst = r.spec.Src
+	ack.Size = pkt.AckBytes
+	ack.Ack = true
+	ack.AckNo = r.rcvNxt
+	ack.ECNEcho = p.CE
+	ack.Priority = p.Priority
+	ack.SentAt = p.SentAt // echoed for the sender's RTT sample
+	r.net.Send(ack)
 	if !r.done && r.rcvNxt >= r.spec.Size {
 		r.done = true
 		if r.OnComplete != nil {

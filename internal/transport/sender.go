@@ -27,7 +27,8 @@ type Sender struct {
 	haveRTT      bool
 	rto          sim.Duration
 	backoff      int
-	timer        *sim.Timer
+	timer        sim.Timer
+	timeoutFn    func() // onTimeout, bound once so re-arming never allocates
 
 	started  sim.Time
 	done     bool
@@ -41,7 +42,9 @@ type Sender struct {
 
 // NewSender builds a sender; call Start to begin transmitting.
 func NewSender(net Net, spec FlowSpec, cc CC, opts Options) *Sender {
-	return &Sender{net: net, spec: spec, cc: cc, opts: opts.WithDefaults()}
+	s := &Sender{net: net, spec: spec, cc: cc, opts: opts.WithDefaults()}
+	s.timeoutFn = s.onTimeout
+	return s
 }
 
 // Spec returns the flow description.
@@ -70,19 +73,19 @@ func (s *Sender) segment(seq int64) *pkt.Packet {
 	if rem := s.spec.Size - seq; rem < payload {
 		payload = rem
 	}
-	return &pkt.Packet{
-		ID:         newPktID(),
-		FlowID:     s.spec.ID,
-		Src:        s.spec.Src,
-		Dst:        s.spec.Dst,
-		Size:       int(payload) + pkt.HeaderBytes,
-		Seq:        seq,
-		Payload:    int(payload),
-		Fin:        seq+payload >= s.spec.Size,
-		ECNCapable: s.spec.ECN,
-		Priority:   s.spec.Priority,
-		SentAt:     s.net.Now(),
-	}
+	p := s.net.NewPacket()
+	p.ID = newPktID()
+	p.FlowID = s.spec.ID
+	p.Src = s.spec.Src
+	p.Dst = s.spec.Dst
+	p.Size = int(payload) + pkt.HeaderBytes
+	p.Seq = seq
+	p.Payload = int(payload)
+	p.Fin = seq+payload >= s.spec.Size
+	p.ECNCapable = s.spec.ECN
+	p.Priority = s.spec.Priority
+	p.SentAt = s.net.Now()
+	return p
 }
 
 // trySend emits new segments while the window allows.
@@ -116,10 +119,8 @@ func (s *Sender) armTimer() {
 	if s.done || s.sndUna >= s.spec.Size {
 		return
 	}
-	if s.timer != nil {
-		s.timer.Stop()
-	}
-	s.timer = s.net.AfterTimer(s.rto, s.onTimeout)
+	s.timer.Stop()
+	s.timer = s.net.AfterTimer(s.rto, s.timeoutFn)
 }
 
 func (s *Sender) onTimeout() {
@@ -203,9 +204,7 @@ func (s *Sender) dupThreshold() int {
 
 func (s *Sender) complete(now sim.Time) {
 	s.done = true
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 	if s.OnComplete != nil {
 		s.OnComplete(now - s.started)
 	}

@@ -26,9 +26,10 @@ func newChanNet(delay sim.Duration) *chanNet {
 	}
 }
 
-func (n *chanNet) Now() sim.Time                                   { return n.eng.Now() }
-func (n *chanNet) After(d sim.Duration, fn func())                 { n.eng.After(d, fn) }
-func (n *chanNet) AfterTimer(d sim.Duration, fn func()) *sim.Timer { return n.eng.AfterTimer(d, fn) }
+func (n *chanNet) Now() sim.Time                                  { return n.eng.Now() }
+func (n *chanNet) After(d sim.Duration, fn func())                { n.eng.After(d, fn) }
+func (n *chanNet) AfterTimer(d sim.Duration, fn func()) sim.Timer { return n.eng.AfterTimer(d, fn) }
+func (n *chanNet) NewPacket() *pkt.Packet                         { return &pkt.Packet{} }
 
 func (n *chanNet) Send(p *pkt.Packet) {
 	n.sent++
