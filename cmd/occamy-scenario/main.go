@@ -1,0 +1,167 @@
+// occamy-scenario lists and runs the declarative scenario catalog.
+//
+// Usage:
+//
+//	occamy-scenario list
+//	occamy-scenario run quickstart
+//	occamy-scenario run all -scale quick
+//	occamy-scenario run leafspine-demo -sweep policy.kind=dt,abm,occamy,pushout
+//	occamy-scenario run burst-absorb -sweep policy.alpha=1,2,4 \
+//	    -sweep workloads[1].bytes=300000,500000,800000 -j 8
+//	occamy-scenario run incast-storm-256 -set workloads[1].fanout=512
+//
+// Sweeps cross-product every -sweep axis and fan the grid points across
+// a worker pool (-j, default GOMAXPROCS); tables are byte-identical at
+// any parallelism. -set applies a single value before running. Any spec
+// field is addressable: see SCENARIOS.md for the schema and
+// `occamy-scenario metrics` for the selectable columns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"occamy/internal/experiments"
+	"occamy/internal/scenario"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: occamy-scenario <list|metrics|run> [args]\n")
+	os.Exit(2)
+}
+
+// multiFlag collects repeated -sweep/-set flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "metrics":
+		for _, m := range scenario.MetricNames() {
+			fmt.Println(m)
+		}
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func list() {
+	names := scenario.Names()
+	fmt.Printf("%d registered scenarios:\n\n", len(names))
+	for _, n := range names {
+		sc, _ := scenario.Get(n)
+		kind := "spec"
+		if sc.Tables != nil {
+			kind = "figure"
+		}
+		fmt.Printf("  %-20s [%s]  %s\n", n, kind, sc.Spec.Title)
+	}
+	fmt.Println("\nrun one with: occamy-scenario run <name> [-scale quick|full] [-sweep path=v1,v2]...")
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scale := fs.String("scale", "full", "quick | full")
+	jobs := fs.Int("j", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+	var sweeps, sets multiFlag
+	fs.Var(&sweeps, "sweep", "grid axis: specfield=v1,v2,... (repeatable)")
+	fs.Var(&sets, "set", "single override: specfield=value (repeatable)")
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: occamy-scenario run <name|all> [flags]")
+		os.Exit(2)
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		os.Exit(2)
+	}
+	quick := *scale == "quick"
+	if *scale != "quick" && *scale != "full" {
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+	experiments.SetParallelism(*jobs)
+
+	names := []string{name}
+	if name == "all" {
+		if len(sweeps) > 0 || len(sets) > 0 {
+			fmt.Fprintln(os.Stderr, "-sweep/-set need a single scenario, not all")
+			os.Exit(2)
+		}
+		names = scenario.Names()
+	}
+	for _, n := range names {
+		sc, ok := scenario.Get(n)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (try: occamy-scenario list)\n", n)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tabs, err := runOne(sc, quick, sweeps, sets)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			os.Exit(1)
+		}
+		for _, tab := range tabs {
+			tab.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		fmt.Printf("(%s took %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runOne(sc scenario.Scenario, quick bool, sweeps, sets []string) ([]*experiments.Table, error) {
+	if sc.Tables != nil {
+		if len(sweeps) > 0 || len(sets) > 0 {
+			return nil, fmt.Errorf("figure scenarios take no -sweep/-set (their harness fixes the grid)")
+		}
+		return sc.RunTables(quick)
+	}
+	spec := sc.SpecAt(quick)
+	// Deep-copy the slices -set may write through; the registered catalog
+	// entry must stay pristine.
+	spec.Workloads = append([]scenario.Workload(nil), spec.Workloads...)
+	spec.Metrics = append([]string(nil), spec.Metrics...)
+	for _, s := range sets {
+		ax, err := scenario.ParseSweep(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(ax.Values) != 1 {
+			return nil, fmt.Errorf("-set %s: one value only (use -sweep for grids)", s)
+		}
+		if err := scenario.SetField(&spec, ax.Path, ax.Values[0]); err != nil {
+			return nil, err
+		}
+	}
+	if len(sweeps) == 0 {
+		r, err := scenario.Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{r.Table()}, nil
+	}
+	axes := make([]scenario.SweepAxis, len(sweeps))
+	for i, s := range sweeps {
+		ax, err := scenario.ParseSweep(s)
+		if err != nil {
+			return nil, err
+		}
+		axes[i] = ax
+	}
+	tab, err := scenario.RunSweep(spec, axes)
+	if err != nil {
+		return nil, err
+	}
+	return []*experiments.Table{tab}, nil
+}

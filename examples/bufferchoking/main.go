@@ -3,119 +3,38 @@
 // starves their queues. When a high-priority incast arrives, a
 // non-preemptive BM cannot reclaim the hostage buffer; Occamy expels it.
 //
-// The program runs the same incast against DT and against Occamy and
-// prints the queue-level evidence: how much buffer the low-priority
-// class holds, how many high-priority packets die at admission, and the
-// resulting query completion times.
+// The registered "buffer-choking" spec wires the whole setup (SP
+// scheduler, 14 LP hostage flows, the HP incast, per-priority α); the
+// sweep below runs it against DT and Occamy and prints the evidence:
+// high-priority QCT, drops, and expulsions side by side.
 //
 // Run with: go run ./examples/bufferchoking
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"occamy"
 )
 
-const (
-	hosts   = 8
-	rate    = 10e9
-	buffer  = 512 << 10
-	ecnMark = 200 << 10
-)
-
-type result struct {
-	qct         occamy.Duration
-	hpDrops     int64
-	expelled    int64
-	lpHeldBytes int
-}
-
-func run(policy occamy.Policy, occCfg *occamy.OccamyConfig) result {
-	rates := make([]float64, hosts)
-	for i := range rates {
-		rates[i] = rate
-	}
-	net := occamy.SingleSwitch(occamy.SingleSwitchConfig{
-		HostRates: rates,
-		LinkDelay: 5 * occamy.Microsecond,
-		Switch: occamy.SwitchConfig{
-			ClassesPerPort:    2,
-			BufferBytes:       buffer,
-			Policy:            policy,
-			Occamy:            occCfg,
-			ECNThresholdBytes: ecnMark,
-			Scheduler:         occamy.SchedSP,
-		},
-		Seed: 1,
-	})
-	sw := net.Switches[0]
-
-	var res result
-	sw.DropHook = func(p *occamy.Packet, q int, r occamy.DropReason) {
-		switch {
-		case r == occamy.DropExpelled:
-			res.expelled++
-		case p.Priority == 0:
-			res.hpDrops++
-		}
-	}
-
-	// Low-priority long-lived flows from hosts 6 and 7 to host 0: they
-	// build up buffer, then the strict-priority scheduler starves them
-	// whenever high-priority traffic appears.
-	for i := 0; i < 14; i++ {
-		net.StartFlow(0, occamy.NodeID(6+i%2), 0, 1<<40, occamy.FlowOptions{
-			Priority: 1, ECN: true,
-			Transport: occamy.TransportOptions{DupThresh: 3},
-		})
-	}
-
-	// After the LP flows settle, a high-priority incast: hosts 1..5
-	// send 40KB each to host 0 (800KB total, far beyond the free buffer).
-	// 4 flows per server mimic the paper's incast degree.
-	start := 10 * occamy.Millisecond
-	var qct occamy.Duration
-	const nFlows = 20
-	remaining := nFlows
-	for s := 0; s < nFlows; s++ {
-		net.StartFlow(start, occamy.NodeID(1+s%5), 0, 40_000, occamy.FlowOptions{
-			Priority: 0, ECN: true,
-			Transport: occamy.TransportOptions{DupThresh: 3},
-			OnComplete: func(fct occamy.Duration) {
-				remaining--
-				if remaining == 0 {
-					qct = net.Eng.Now() - start
-				}
-			},
-		})
-	}
-	net.Eng.RunUntil(start + 200*occamy.Millisecond)
-
-	// Snapshot how much buffer the LP class still holds (queue index
-	// 2*port+1 is the LP class of each port; port 0 is the receiver).
-	res.lpHeldBytes = sw.QueueLen(0*2 + 1)
-	res.qct = qct
-	return res
-}
-
 func main() {
-	occCfg := occamy.OccamyConfig{Alpha: 8, AlphaByPrio: map[int]float64{0: 8, 1: 1}}
-	dt := occamy.NewDT(1)
-	dt.AlphaByPrio = map[int]float64{0: 8, 1: 1}
-
-	fmt.Println("high-priority incast vs low-priority hostage buffer (SP scheduling)")
-	fmt.Printf("%-8s %-12s %-10s %-10s\n", "policy", "qct", "hp_drops", "expelled")
-	for _, c := range []struct {
-		name string
-		run  func() result
-	}{
-		{"DT", func() result { return run(dt, nil) }},
-		{"Occamy", func() result { return run(occamy.NewOccamy(occCfg), &occCfg) }},
-	} {
-		r := c.run()
-		fmt.Printf("%-8s %-12v %-10d %-10d\n", c.name, r.qct, r.hpDrops, r.expelled)
+	sc, ok := occamy.GetScenario("buffer-choking")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "buffer-choking not registered")
+		os.Exit(1)
 	}
+	spec := sc.Spec
+	spec.Metrics = []string{"policy", "qct_avg_ms", "qct_p99_ms", "rtos",
+		"drops", "expelled", "max_occ_pct"}
+	tab, err := occamy.RunScenarioSweep(spec, []occamy.SweepAxis{
+		{Path: "policy.kind", Values: []string{"dt", "occamy"}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
 	fmt.Println("\nshape to observe: DT drops high-priority packets while the")
 	fmt.Println("low-priority queues hold buffer they cannot drain; Occamy expels")
 	fmt.Println("the hostage buffer and completes the incast faster.")

@@ -1,81 +1,39 @@
-// Burst absorption (the Fig 12 scenario): a long-lived flow congests
-// one port; bursts of increasing size target another. We sweep α for
-// both DT and Occamy and report each policy's burst loss rate — showing
-// the paper's headline that Occamy absorbs larger bursts and, unlike
-// DT, *improves* as α grows.
+// Burst absorption (the Fig 12 scenario) as a declarative sweep: a
+// long-lived flow congests one port; bursts of increasing size target
+// another. Sweeping policy kind × α × burst size over the registered
+// "burst-absorb" spec reports each grid point's burst loss — the paper's
+// headline that Occamy absorbs larger bursts and, unlike DT, *improves*
+// as α grows.
+//
+// The pre-scenario version of this example hand-wired the switch and
+// injection in ~80 lines; the sweep below is the whole program.
 //
 // Run with: go run ./examples/burstabsorb
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"occamy"
 )
 
-const (
-	chipPorts = 8
-	portRate  = 10e9
-	buffer    = 1_200_000
-	pktSize   = 1000
-)
-
-// run injects the long-lived + burst pattern through a fresh switch and
-// returns the burst traffic's loss fraction.
-func run(policy occamy.Policy, occCfg *occamy.OccamyConfig, burstBytes int64) float64 {
-	eng := occamy.NewEngine()
-	sw := occamy.NewSwitch("p4", eng, occamy.SwitchConfig{
-		Ports:          chipPorts,
-		ClassesPerPort: 1,
-		BufferBytes:    buffer,
-		Policy:         policy,
-		Occamy:         occCfg,
-	})
-	for i := 0; i < chipPorts; i++ {
-		sw.AttachPort(i, portRate, 0, func(*occamy.Packet) {})
-	}
-	sw.SetRouter(func(p *occamy.Packet) int { return int(p.Dst) })
-
-	var burstDrops, burstSent int64
-	sw.DropHook = func(p *occamy.Packet, q int, r occamy.DropReason) {
-		if p.FlowID == 2 {
-			burstDrops++
-		}
-	}
-	var id uint64
-	inject := func(dst occamy.NodeID, flow uint64) {
-		id++
-		sw.Receive(&occamy.Packet{ID: id, FlowID: flow, Dst: dst, Size: pktSize})
-	}
-	// Long-lived at 2× drain into port 0; give it time to reach steady
-	// state, then burst at 100G into port 1.
-	gap := occamy.Duration(float64(pktSize*8) / (2 * portRate) * float64(occamy.Second))
-	tk := eng.Every(0, gap, func() { inject(0, 1) })
-	burstAt := occamy.Duration(1.3 * float64(buffer) * 8 / portRate * float64(occamy.Second))
-	burstGap := occamy.Duration(float64(pktSize*8) / 100e9 * float64(occamy.Second))
-	n := burstBytes / pktSize
-	for i := int64(0); i < n; i++ {
-		eng.At(burstAt+occamy.Duration(i)*burstGap, func() { inject(1, 2); burstSent++ })
-	}
-	eng.RunUntil(burstAt + occamy.Duration(n)*burstGap + 300*occamy.Microsecond)
-	tk.Stop()
-	if burstSent == 0 {
-		return 0
-	}
-	return float64(burstDrops) / float64(burstSent)
-}
-
 func main() {
-	fmt.Println("burst loss rate (long-lived queue at steady state, burst at 100G)")
-	fmt.Printf("%-6s %-9s %-12s %-12s\n", "alpha", "burst_KB", "occamy", "dt")
-	for _, alpha := range []float64{1, 2, 4} {
-		for size := int64(300_000); size <= 800_000; size += 100_000 {
-			cfg := occamy.OccamyConfig{Alpha: alpha}
-			occLoss := run(occamy.NewOccamy(cfg), &cfg, size)
-			dtLoss := run(occamy.NewDT(alpha), nil, size)
-			fmt.Printf("%-6g %-9d %-12.4f %-12.4f\n", alpha, size/1000, occLoss, dtLoss)
-		}
+	sc, ok := occamy.GetScenario("burst-absorb")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "burst-absorb not registered")
+		os.Exit(1)
 	}
+	tab, err := occamy.RunScenarioSweep(sc.Spec, []occamy.SweepAxis{
+		{Path: "policy.kind", Values: []string{"occamy", "dt"}},
+		{Path: "policy.alpha", Values: []string{"1", "2", "4"}},
+		{Path: "workloads[1].bytes", Values: []string{"300000", "500000", "800000"}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tab.Fprint(os.Stdout)
 	fmt.Println("\nshape to observe: Occamy's lossless range widens with alpha;")
 	fmt.Println("DT's shrinks (its reserve vanishes and it cannot reclaim buffer).")
 }

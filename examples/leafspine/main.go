@@ -1,93 +1,34 @@
 // Leaf–spine fabric demo (the §6.4 scenario at laptop scale): web-search
-// background at 60% load plus incast queries across a 2×2×4 leaf–spine
-// with ECMP and DCTCP. Compares DT, ABM, Occamy, and Pushout on query
-// completion time.
+// background at 90% load plus incast queries across a 2×2×4 leaf–spine
+// with ECMP and DCTCP. Sweeping the registered "leafspine-demo" spec
+// across the policy line-up compares DT, ABM, Occamy, and Pushout on
+// query completion time — one row per policy.
 //
 // Run with: go run ./examples/leafspine
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"occamy"
 )
 
-const (
-	spines       = 2
-	leaves       = 2
-	hostsPerLeaf = 4
-	linkRate     = 10e9
-	linkDelay    = 10 * occamy.Microsecond
-	queries      = 12
-)
-
-type line struct {
-	name   string
-	policy func() (occamy.Policy, *occamy.OccamyConfig)
-}
-
 func main() {
-	lines := []line{
-		{"Occamy", func() (occamy.Policy, *occamy.OccamyConfig) {
-			cfg := occamy.OccamyConfig{Alpha: 8}
-			return occamy.NewOccamy(cfg), &cfg
-		}},
-		{"ABM", func() (occamy.Policy, *occamy.OccamyConfig) { return occamy.NewABM(2), nil }},
-		{"DT", func() (occamy.Policy, *occamy.OccamyConfig) { return occamy.NewDT(1), nil }},
-		{"Pushout", func() (occamy.Policy, *occamy.OccamyConfig) { return occamy.NewPushout(), nil }},
+	sc, ok := occamy.GetScenario("leafspine-demo")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "leafspine-demo not registered")
+		os.Exit(1)
 	}
-	fmt.Println("leaf-spine 2x2x4, web-search bg 90%, incast queries (80% of buffer)")
-	fmt.Printf("%-8s %-12s %-12s %-10s\n", "policy", "avg_qct", "p99_qct", "bg_avg_fct")
-	for _, l := range lines {
-		avg, p99, bg := runFabric(l)
-		fmt.Printf("%-8s %-12v %-12v %-10v\n", l.name, avg, p99, bg)
+	tab, err := occamy.RunScenarioSweep(sc.Spec, []occamy.SweepAxis{
+		{Path: "policy.kind", Values: []string{"occamy", "abm", "dt", "pushout"}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+	tab.Fprint(os.Stdout)
 	fmt.Println("\nshape to observe: the preemptive policies (Occamy, Pushout) beat the")
 	fmt.Println("non-preemptive ones on average QCT; at this tiny scale single runs are")
 	fmt.Println("noisy — internal/experiments averages many queries per point.")
-}
-
-func runFabric(l line) (avgQCT, p99QCT, bgAvg occamy.Duration) {
-	mk := func() occamy.SwitchConfig {
-		policy, occCfg := l.policy()
-		return occamy.SwitchConfig{
-			ClassesPerPort:    1,
-			BufferBytes:       300 << 10,
-			Policy:            policy,
-			Occamy:            occCfg,
-			ECNThresholdBytes: 60 << 10,
-		}
-	}
-	net := occamy.LeafSpine(occamy.LeafSpineConfig{
-		Spines: spines, Leaves: leaves, HostsPerLeaf: hostsPerLeaf,
-		HostLinkBps: linkRate, SpineLinkBps: linkRate,
-		LinkDelay:   linkDelay,
-		LeafSwitch:  mk(),
-		SpineSwitch: mk(),
-		Seed:        7,
-	})
-
-	hosts := make([]occamy.NodeID, leaves*hostsPerLeaf)
-	for i := range hosts {
-		hosts[i] = occamy.NodeID(i)
-	}
-	var bgCol, qCol occamy.Collector
-	bg := &occamy.Background{
-		Net: net, Hosts: hosts, Load: 0.9, LinkBps: linkRate,
-		Dist: occamy.WebSearchCDF(), ECN: true, Collector: &bgCol,
-		OneWayBase: 4 * linkDelay,
-	}
-	q := &occamy.Incast{
-		Net: net, Servers: hosts, RandomClient: true,
-		Fanout: 6, QuerySize: int64(0.8 * 300 * 1024),
-		Interval: 2 * occamy.Millisecond, ECN: true, Collector: &qCol,
-		LinkBps: linkRate, OneWayBase: 4 * linkDelay,
-	}
-	horizon := occamy.Duration(queries) * 2 * occamy.Millisecond
-	bg.Start(0, horizon)
-	q.Start(occamy.Millisecond, horizon)
-	net.Eng.RunUntil(horizon + 100*occamy.Millisecond)
-	bg.Stop()
-	q.Stop()
-	return qCol.MeanFCT(), qCol.P99FCT(), bgCol.MeanFCT()
 }

@@ -1,78 +1,53 @@
-// Quickstart: build one shared-memory switch with Occamy buffer
-// management, congest one queue with long-lived traffic, then slam a
-// burst into a second queue and watch the expulsion engine reclaim the
-// over-allocated buffer in real (virtual) time.
+// Quickstart: the repository's hello-world, now a declarative scenario.
+// One queue is pinned at its DT threshold by 2× line-rate traffic; at
+// t=900µs a 400KB burst at 100G slams a second queue. Occamy's expulsion
+// engine head-drops the over-allocated queue so the burst gets its fair
+// share — the expelled column is the reclaimed buffer.
+//
+// The entire setup — 8-port switch, buffer, policy, both traffic
+// sources — is the ~15-line spec below, written out inline to show the
+// schema; the same scenario ships registered as "quickstart" in the
+// catalog (internal/scenario/catalog.go), so keep the two in sync.
+// Compare examples/burstabsorb for sweeping specs over a grid, and
+// SCENARIOS.md for the full schema.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"occamy"
 )
 
 func main() {
-	eng := occamy.NewEngine()
-
-	const (
-		ports    = 8       // chip ports: unused ones still add memory bandwidth
-		portRate = 10e9    // 10Gbps per port
-		buffer   = 1 << 20 // 1MB shared buffer
-		pktSize  = 1000
-	)
-	occCfg := occamy.OccamyConfig{Alpha: 8}
-	sw := occamy.NewSwitch("demo", eng, occamy.SwitchConfig{
-		Ports:          ports,
-		ClassesPerPort: 1,
-		BufferBytes:    buffer,
-		Policy:         occamy.NewOccamy(occCfg),
-		Occamy:         &occCfg,
-	})
-	for i := 0; i < ports; i++ {
-		sw.AttachPort(i, portRate, 0, func(*occamy.Packet) {})
+	spec := occamy.ScenarioSpec{
+		Name:  "quickstart",
+		Title: "Occamy expulsion demo: pinned queue vs 400KB burst (1MB buffer)",
+		Topology: occamy.ScenarioTopology{
+			Kind: occamy.TopoSingleSwitch, Hosts: 8,
+			LinkBps: 10e9, BufferBytes: 1 << 20,
+		},
+		Policy: occamy.ScenarioPolicy{Kind: "occamy", Alpha: 8},
+		Workloads: []occamy.ScenarioWorkload{
+			{Kind: "cbr", Label: "longlived", DstPort: 0, RateBps: 20e9},
+			{Kind: "burst", Label: "burst", DstPort: 1, RateBps: 100e9,
+				Bytes: 400_000, At: 900 * occamy.Microsecond},
+		},
+		Duration: 1400 * occamy.Microsecond,
 	}
-	sw.SetRouter(func(p *occamy.Packet) int { return int(p.Dst) })
-
-	// Long-lived traffic into port 0 at 2× line rate: queue 0 fills up
-	// to the DT threshold and stays pinned there.
-	var id uint64
-	inject := func(dst occamy.NodeID, flow uint64) {
-		id++
-		sw.Receive(&occamy.Packet{ID: id, FlowID: flow, Dst: dst, Size: pktSize})
+	res, err := occamy.RunScenario(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	gap := occamy.Duration(float64(pktSize*8) / (2 * portRate) * float64(occamy.Second))
-	eng.Every(0, gap, func() { inject(0, 1) })
+	res.Table().Fprint(os.Stdout)
 
-	fmt.Println("t(us)   q0(KB)  q1(KB)  threshold(KB)  expelled")
-	sample := func() {
-		st := sw.Stats()
-		fmt.Printf("%-7.0f %-7.1f %-7.1f %-14.1f %d\n",
-			eng.Now().Micros(),
-			float64(sw.QueueLen(0))/1e3, float64(sw.QueueLen(1))/1e3,
-			float64(sw.Threshold(1))/1e3, st.DropsExpelled)
-	}
-	for _, t := range []occamy.Duration{200, 400, 800, 900, 950, 1000, 1100, 1300} {
-		eng.At(t*occamy.Microsecond, sample)
-	}
-
-	// At t=900µs, a 400KB burst arrives for port 1 at 100Gbps. The DT
-	// threshold collapses; queue 0 is suddenly over-allocated; Occamy
-	// head-drops it using redundant memory bandwidth so the burst gets
-	// its fair share instead of being tail-dropped.
-	burstGap := occamy.Duration(float64(pktSize*8) / 100e9 * float64(occamy.Second))
-	for i := 0; i < 400_000/pktSize; i++ {
-		eng.At(900*occamy.Microsecond+occamy.Duration(i)*burstGap, func() { inject(1, 2) })
-	}
-
-	eng.RunUntil(1400 * occamy.Microsecond)
-
-	st := sw.Stats()
-	fmt.Printf("\nforwarded %d packets, admission drops %d, expelled %d\n",
-		st.TxPackets, st.DropsAdmission, st.DropsExpelled)
-	if exp := sw.Expulsion(); exp != nil {
-		s := exp.Stats()
-		fmt.Printf("expulsion engine: %d packets (%d KB) reclaimed, %d token stalls\n",
-			s.ExpelledPackets, s.ExpelledBytes/1000, s.TokenStalls)
-	}
+	burst := res.Workloads[1]
+	fmt.Printf("\nburst: %d packets sent, %d dropped; %d packets expelled from the pinned queue\n",
+		burst.SentPackets, burst.Drops, res.Total.DropsExpelled)
+	fmt.Println("\nshape to observe: without preemption the pinned queue would hold its")
+	fmt.Println("buffer and the burst would tail-drop; try -set policy.kind=dt via")
+	fmt.Println("`go run ./cmd/occamy-scenario run quickstart -set policy.kind=dt`.")
 }

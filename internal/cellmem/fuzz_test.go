@@ -1,0 +1,127 @@
+package cellmem
+
+import (
+	"testing"
+)
+
+// FuzzPoolAllocFree drives randomized alloc/free interleavings through
+// the cell pool (mirroring switchsim's whole-switch fuzz at the memory
+// layer) and checks, after every operation:
+//
+//   - allocation only fails when cells or PDs are genuinely exhausted,
+//   - used/free cell and PD accounting matches the live-set ground truth,
+//   - free lists stay cycle-free and length-consistent (CheckInvariants),
+//
+// and after draining every live packet:
+//
+//   - no leaked cells or PDs: the pool is byte-for-byte back to empty.
+//
+// Each input byte encodes one operation: low bit picks alloc vs free,
+// the rest sizes the packet or selects the victim.
+func FuzzPoolAllocFree(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 2, 4, 1, 3, 5})
+	f.Add([]byte{254, 254, 254, 254, 255, 255, 255, 255})
+	// Alternating churn with odd sizes to exercise cell rounding.
+	churn := make([]byte, 199)
+	for i := range churn {
+		churn[i] = byte(i*13 + 7)
+	}
+	f.Add(churn)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{CellSize: 64, NumCells: 96, NumPDs: 24}
+		p := New(cfg)
+		type livePkt struct {
+			ref   PDRef
+			size  int
+			cells int
+		}
+		var live []livePkt
+		liveCells := 0
+
+		check := func(op int) {
+			t.Helper()
+			if got, want := p.UsedCells(), liveCells; got != want {
+				t.Fatalf("op %d: UsedCells %d != live ground truth %d", op, got, want)
+			}
+			if got, want := p.FreePDs(), cfg.NumPDs-len(live); got != want {
+				t.Fatalf("op %d: FreePDs %d != %d", op, got, want)
+			}
+			if got, want := p.FreeBytes(), (cfg.NumCells-liveCells)*cfg.CellSize; got != want {
+				t.Fatalf("op %d: FreeBytes %d != %d", op, got, want)
+			}
+			p.CheckInvariants()
+		}
+
+		for i, b := range data {
+			if b&1 == 0 {
+				// Alloc: sizes 1..~1500 bytes, spanning 1..24 cells.
+				size := 1 + int(b)*6
+				ref := p.Alloc(size, uint64(i))
+				need := p.CellsFor(size)
+				if ref == NilPD {
+					if p.FreeCells() >= need && p.FreePDs() > 0 {
+						t.Fatalf("op %d: alloc(%d) failed with %d free cells, %d free PDs",
+							i, size, p.FreeCells(), p.FreePDs())
+					}
+				} else {
+					if p.Len(ref) != size || p.Cells(ref) != need || p.PktID(ref) != uint64(i) {
+						t.Fatalf("op %d: descriptor mismatch: len %d cells %d id %d, want %d/%d/%d",
+							i, p.Len(ref), p.Cells(ref), p.PktID(ref), size, need, i)
+					}
+					live = append(live, livePkt{ref: ref, size: size, cells: need})
+					liveCells += need
+				}
+			} else if len(live) > 0 {
+				// Free a pseudo-random live packet, alternating the
+				// normal-dequeue and head-drop release paths.
+				idx := int(b>>1) % len(live)
+				pk := live[idx]
+				before := p.Meters()
+				p.Release(pk.ref, b&2 == 0)
+				after := p.Meters()
+				if reads := after.CellDataReads - before.CellDataReads; b&2 != 0 && reads != 0 {
+					t.Fatalf("op %d: head-drop read %d data cells; must never touch cell data", i, reads)
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+				liveCells -= pk.cells
+			}
+			check(i)
+		}
+
+		// Drain: release everything still live; the pool must return to
+		// exactly its initial state.
+		for _, pk := range live {
+			p.Release(pk.ref, true)
+		}
+		if p.FreeCells() != cfg.NumCells {
+			t.Fatalf("leaked cells after drain: %d free, want %d", p.FreeCells(), cfg.NumCells)
+		}
+		if p.FreePDs() != cfg.NumPDs {
+			t.Fatalf("leaked PDs after drain: %d free, want %d", p.FreePDs(), cfg.NumPDs)
+		}
+		if p.UsedCells() != 0 {
+			t.Fatalf("used cells %d after drain", p.UsedCells())
+		}
+		p.CheckInvariants()
+	})
+}
+
+// TestReleaseTwicePanics pins the double-free guard: releasing the same
+// descriptor twice must panic rather than corrupt the free lists.
+func TestReleaseTwicePanics(t *testing.T) {
+	p := New(Config{CellSize: 64, NumCells: 8})
+	ref := p.Alloc(100, 1)
+	if ref == NilPD {
+		t.Fatal("alloc failed")
+	}
+	p.Release(ref, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	p.Release(ref, false)
+}

@@ -3,6 +3,8 @@ package netsim
 import (
 	"fmt"
 
+	"occamy/internal/bm"
+	"occamy/internal/core"
 	"occamy/internal/pkt"
 	"occamy/internal/sim"
 	"occamy/internal/switchsim"
@@ -70,8 +72,26 @@ type LeafSpineConfig struct {
 	// automatically (leaf: HostsPerLeaf+Spines; spine: Leaves).
 	LeafSwitch  switchsim.Config
 	SpineSwitch switchsim.Config
+	// HostRates optionally overrides individual host access rates (keyed
+	// by dense host ID), modeling degraded links: flapping optics, a
+	// misnegotiated port. Hosts absent from the map run at HostLinkBps.
+	HostRates map[int]float64
+	// MakeLeafPolicy/MakeSpinePolicy, when set, build a fresh policy (and
+	// expulsion config) per switch instead of sharing the single Policy
+	// pointer in LeafSwitch/SpineSwitch across all of them — required for
+	// stateful policies (EDT, TDT, the pushout variants).
+	MakeLeafPolicy  func() (bm.Policy, *core.Config)
+	MakeSpinePolicy func() (bm.Policy, *core.Config)
 	// Seed seeds the network's RNG.
 	Seed uint64
+}
+
+// hostRate returns host id's access rate, honoring degraded-port overrides.
+func (c LeafSpineConfig) hostRate(id int) float64 {
+	if r, ok := c.HostRates[id]; ok && r > 0 {
+		return r
+	}
+	return c.HostLinkBps
 }
 
 // NumHosts returns the total host count.
@@ -105,6 +125,9 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 		if scfg.ClassesPerPort == 0 {
 			scfg.ClassesPerPort = 1
 		}
+		if cfg.MakeLeafPolicy != nil {
+			scfg.Policy, scfg.Occamy = cfg.MakeLeafPolicy()
+		}
 		leaves[l] = switchsim.New(fmt.Sprintf("leaf%d", l), eng, scfg)
 	}
 	for s := 0; s < cfg.Spines; s++ {
@@ -112,6 +135,9 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 		scfg.Ports = cfg.Leaves
 		if scfg.ClassesPerPort == 0 {
 			scfg.ClassesPerPort = 1
+		}
+		if cfg.MakeSpinePolicy != nil {
+			scfg.Policy, scfg.Occamy = cfg.MakeSpinePolicy()
 		}
 		spines[s] = switchsim.New(fmt.Sprintf("spine%d", s), eng, scfg)
 	}
@@ -123,8 +149,9 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 			h := NewHost(eng, id)
 			h.UsePool(net.Pool)
 			leaf := leaves[l]
-			h.Wire(cfg.HostLinkBps, cfg.LinkDelay, leaf.Receive)
-			leaf.AttachPort(i, cfg.HostLinkBps, cfg.LinkDelay, h.Deliver)
+			rate := cfg.hostRate(int(id))
+			h.Wire(rate, cfg.LinkDelay, leaf.Receive)
+			leaf.AttachPort(i, rate, cfg.LinkDelay, h.Deliver)
 			net.Hosts = append(net.Hosts, h)
 		}
 	}

@@ -1,0 +1,565 @@
+package scenario
+
+import (
+	"fmt"
+
+	"occamy/internal/bm"
+	"occamy/internal/core"
+	"occamy/internal/experiments"
+	"occamy/internal/metrics"
+	"occamy/internal/netsim"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+	"occamy/internal/transport"
+	"occamy/internal/workload"
+)
+
+// WorkloadStats carries per-workload run output.
+type WorkloadStats struct {
+	Kind  string
+	Label string
+	// Col holds completion samples (FCTs/QCTs with slowdowns).
+	Col metrics.Collector
+	// Launched counts flows/queries/rounds started; Done counts gated
+	// incast queries fully answered; Timeouts counts RTOs (incast only).
+	Launched int64
+	Done     int64
+	Timeouts int64
+	// SentPackets/SentBytes/Drops account raw injection traffic.
+	SentPackets int64
+	SentBytes   int64
+	Drops       int64
+}
+
+// Result is one scenario run's output.
+type Result struct {
+	Spec      Spec
+	Workloads []WorkloadStats
+	// PerSwitch / Buffered / Occupancy snapshot each switch at stop time.
+	PerSwitch []switchsim.Stats
+	Buffered  []int
+	Occupancy []int
+	// Total aggregates PerSwitch.
+	Total switchsim.Stats
+	// MaxOccupancy is the peak buffered byte count across switches
+	// (periodic sampling); BufferBytes the per-switch capacity.
+	MaxOccupancy int
+	BufferBytes  int
+	// Events is the number of simulator events executed.
+	Events uint64
+}
+
+// AccountingDrift returns the packet-conservation residue summed over
+// all switches: received minus transmitted, dropped, expelled, and still
+// buffered. Any healthy run reports exactly zero.
+func (r *Result) AccountingDrift() int64 {
+	var drift int64
+	for i, st := range r.PerSwitch {
+		drift += st.RxPackets - st.TxPackets - st.Drops() - st.DropsExpelled - int64(r.Buffered[i])
+	}
+	return drift
+}
+
+// DeliveredBytes returns the bytes transmitted by all switches.
+func (r *Result) DeliveredBytes() int64 { return r.Total.TxBytes }
+
+// distFor resolves a workload's flow-size distribution.
+func distFor(w Workload) (*workload.CDF, error) {
+	switch w.Dist {
+	case "", "websearch":
+		return workload.WebSearch(), nil
+	case "cache":
+		return workload.CacheFollower(), nil
+	case "uniform":
+		if w.FlowSize <= 0 {
+			return nil, fmt.Errorf("dist \"uniform\" needs FlowSize > 0")
+		}
+		return workload.Uniform(w.FlowSize), nil
+	}
+	return nil, fmt.Errorf("unknown dist %q (websearch|cache|uniform)", w.Dist)
+}
+
+// ccFor resolves a workload's congestion controller; nil means the
+// netsim default (DCTCP).
+func ccFor(w Workload) (func(mss, segs int) transport.CC, error) {
+	switch w.CC {
+	case "", "dctcp":
+		return nil, nil
+	case "cubic":
+		return func(mss, segs int) transport.CC { return transport.NewCubic(mss, segs) }, nil
+	case "reno":
+		return func(mss, segs int) transport.CC { return transport.NewReno(mss, segs) }, nil
+	}
+	return nil, fmt.Errorf("unknown cc %q (dctcp|cubic|reno)", w.CC)
+}
+
+// wireClocks connects clock-dependent policies to the engine: EDT gets
+// the virtual clock, TDT a periodic per-queue observer.
+func wireClocks(sw *switchsim.Switch, eng *sim.Engine) *sim.Ticker {
+	switch p := sw.Policy().(type) {
+	case *bm.EDT:
+		p.Clock = func() int64 { return int64(eng.Now()) }
+	case *bm.TDT:
+		return eng.Every(0, experiments.TDTObserverPeriod, func() {
+			for q := 0; q < sw.NumQueues(); q++ {
+				p.Observe(sw, q)
+			}
+		})
+	}
+	return nil
+}
+
+// Run assembles and executes one scenario.
+func Run(spec Spec) (*Result, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Raw() {
+		return runRaw(spec)
+	}
+	return runTransport(spec)
+}
+
+// MustRun is Run for specs known valid (registered catalog entries).
+func MustRun(spec Spec) *Result {
+	r, err := Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// buildNetwork assembles the topology with per-switch fresh policies.
+func buildNetwork(spec Spec) (*netsim.Network, []*sim.Ticker) {
+	t := spec.Topology
+	sched, _ := t.schedKind()
+	mkPolicy := func() (bm.Policy, *core.Config) {
+		p, occ, err := spec.Policy.Build(t.Classes)
+		if err != nil {
+			panic(err) // Validate already vetted the kind
+		}
+		return p, occ
+	}
+	// Policy/Occamy left zero here: the single-switch branch fills them
+	// in once, the leaf-spine branch hands netsim the Make hooks so every
+	// switch gets its own fresh instance (stateful EDT/TDT maps must not
+	// be shared across switches).
+	baseCfg := switchsim.Config{
+		ClassesPerPort:    t.Classes,
+		BufferBytes:       t.BufferSize(),
+		CellBytes:         t.CellBytes,
+		ECNThresholdBytes: t.ECNThresholdBytes,
+		Scheduler:         sched,
+	}
+
+	var net *netsim.Network
+	switch t.Kind {
+	case LeafSpine:
+		rates := map[int]float64{}
+		for id := range t.DegradedPorts {
+			rates[id] = t.hostRate(id)
+		}
+		net = netsim.LeafSpine(netsim.LeafSpineConfig{
+			Spines: t.Spines, Leaves: t.Leaves, HostsPerLeaf: t.HostsPerLeaf,
+			HostLinkBps: t.LinkBps, SpineLinkBps: t.SpineLinkBps,
+			LinkDelay:       t.LinkDelay,
+			LeafSwitch:      baseCfg,
+			SpineSwitch:     baseCfg,
+			HostRates:       rates,
+			MakeLeafPolicy:  mkPolicy,
+			MakeSpinePolicy: mkPolicy,
+			Seed:            spec.Seed,
+		})
+	default:
+		rates := make([]float64, t.Hosts)
+		for i := range rates {
+			rates[i] = t.hostRate(i)
+		}
+		scfg := baseCfg
+		scfg.Policy, scfg.Occamy = mkPolicy()
+		net = netsim.SingleSwitch(netsim.SingleSwitchConfig{
+			HostRates: rates,
+			LinkDelay: t.LinkDelay,
+			Switch:    scfg,
+			Seed:      spec.Seed,
+		})
+	}
+	var tickers []*sim.Ticker
+	for _, sw := range net.Switches {
+		if tk := wireClocks(sw, net.Eng); tk != nil {
+			tickers = append(tickers, tk)
+		}
+	}
+	return net, tickers
+}
+
+// oneWayBase returns the base one-way latency used as the slowdown
+// denominator (matching the experiments harnesses).
+func oneWayBase(t Topology) sim.Duration {
+	if t.Kind == LeafSpine {
+		ser := sim.Duration(float64(pkt.MTU*8) / t.LinkBps * float64(sim.Second))
+		return 4*t.LinkDelay + 4*ser
+	}
+	return 2 * t.LinkDelay
+}
+
+// startStop is a started workload's control surface.
+type startStop struct {
+	stop     func()
+	timeouts func() int64
+	launched func() int64
+	done     func() int64
+}
+
+// phases slices [0, horizon) into the workload's on-windows.
+func phases(w Workload, horizon sim.Duration) [][2]sim.Time {
+	if w.OnTime <= 0 {
+		return [][2]sim.Time{{0, sim.Time(horizon)}}
+	}
+	var out [][2]sim.Time
+	period := w.OnTime + w.OffTime
+	for t := sim.Duration(0); t < horizon; t += period {
+		end := t + w.OnTime
+		if end > horizon {
+			end = horizon
+		}
+		out = append(out, [2]sim.Time{sim.Time(t), sim.Time(end)})
+	}
+	return out
+}
+
+// startRounds launches one generator instance per on-phase. mk builds a
+// fresh instance returning its Start and a rounds counter.
+func startRounds(w Workload, horizon sim.Duration,
+	mk func() (start func(from, until sim.Time), stop func(), rounds func() int64)) startStop {
+	var stops []func()
+	var counts []func() int64
+	for _, ph := range phases(w, horizon) {
+		start, stop, rounds := mk()
+		start(ph[0], ph[1])
+		stops = append(stops, stop)
+		counts = append(counts, rounds)
+	}
+	return startStop{
+		stop: func() {
+			for _, s := range stops {
+				s()
+			}
+		},
+		launched: func() int64 {
+			var n int64
+			for _, c := range counts {
+				n += c()
+			}
+			return n
+		},
+	}
+}
+
+// runTransport executes a spec whose workloads ride the transport stack.
+func runTransport(spec Spec) (*Result, error) {
+	net, tickers := buildNetwork(spec)
+	res := &Result{
+		Spec:        spec,
+		Workloads:   make([]WorkloadStats, len(spec.Workloads)),
+		BufferBytes: spec.Topology.BufferSize(),
+	}
+	oneWay := oneWayBase(spec.Topology)
+	nHosts := spec.Topology.NumHosts()
+	allHosts := make([]pkt.NodeID, nHosts)
+	for i := range allHosts {
+		allHosts[i] = pkt.NodeID(i)
+	}
+
+	gate := spec.gatingIncast()
+	gateClient := -1
+	if gate >= 0 {
+		gateClient = spec.Workloads[gate].Client
+	}
+	horizon := spec.Warmup + spec.Duration
+
+	running := make([]startStop, len(spec.Workloads))
+	for i := range spec.Workloads {
+		w := spec.Workloads[i]
+		ws := &res.Workloads[i]
+		ws.Kind, ws.Label = w.Kind, w.label(i)
+		col := &ws.Col
+		newCC, _ := ccFor(w)
+		opts := transport.Options{DupThresh: w.DupThresh}
+
+		// Host set: exclude the gating incast client on request.
+		hosts := allHosts
+		if w.ExcludeClient && gateClient >= 0 {
+			hosts = nil
+			for _, h := range allHosts {
+				if int(h) != gateClient {
+					hosts = append(hosts, h)
+				}
+			}
+		}
+
+		switch w.Kind {
+		case WLBackground:
+			dist, _ := distFor(w)
+			running[i] = startRounds(w, horizon, func() (func(from, until sim.Time), func(), func() int64) {
+				bg := &workload.Background{
+					Net: net, Hosts: hosts, Load: w.Load, LinkBps: spec.Topology.LinkBps,
+					Dist: dist, Priority: w.Priority, ECN: true, NewCC: newCC, Opts: opts,
+					Collector: col, OneWayBase: oneWay,
+				}
+				return bg.Start, bg.Stop, bg.Started
+			})
+		case WLPermutation:
+			running[i] = startRounds(w, horizon, func() (func(from, until sim.Time), func(), func() int64) {
+				g := &workload.Permutation{
+					Net: net, Hosts: hosts, FlowSize: w.FlowSize, Load: w.Load,
+					LinkBps: spec.Topology.LinkBps, Stride: w.Stride, RotateStride: w.RotateStride,
+					Priority: w.Priority, ECN: true, NewCC: newCC, Opts: opts,
+					Collector: col, OneWayBase: oneWay,
+				}
+				return g.Start, g.Stop, g.Rounds
+			})
+		case WLAllToAll:
+			running[i] = startRounds(w, horizon, func() (func(from, until sim.Time), func(), func() int64) {
+				g := &workload.AllToAll{
+					Net: net, Hosts: hosts, FlowSize: w.FlowSize, Load: w.Load,
+					LinkBps:  spec.Topology.LinkBps,
+					Priority: w.Priority, ECN: true, NewCC: newCC, Opts: opts,
+					Collector: col, OneWayBase: oneWay,
+				}
+				return g.Start, g.Stop, g.Rounds
+			})
+		case WLAllReduce:
+			running[i] = startRounds(w, horizon, func() (func(from, until sim.Time), func(), func() int64) {
+				g := &workload.AllReduce{
+					Net: net, Hosts: hosts, FlowSize: w.FlowSize, Load: w.Load,
+					LinkBps:  spec.Topology.LinkBps,
+					Priority: w.Priority, ECN: true, NewCC: newCC, Opts: opts,
+					Collector: col, OneWayBase: oneWay,
+				}
+				return g.Start, g.Stop, g.Rounds
+			})
+		case WLLongLived:
+			// Persistent flows from the last hosts toward the client port,
+			// alternating over the final two hosts (the Fig 6 companions).
+			dst := pkt.NodeID(0)
+			if w.Client > 0 {
+				dst = pkt.NodeID(w.Client)
+			}
+			for f := 0; f < w.Count; f++ {
+				src := allHosts[nHosts-1-f%2]
+				if src == dst {
+					src = allHosts[(int(dst)+1)%nHosts]
+				}
+				net.StartFlow(0, src, dst, 1<<40, netsim.FlowOptions{
+					Priority: w.Priority, ECN: true, NewCC: newCC, Transport: opts,
+				})
+			}
+			count := int64(w.Count)
+			running[i] = startStop{launched: func() int64 { return count }}
+		case WLIncast:
+			q := &workload.Incast{
+				Net: net, Fanout: w.Fanout, QuerySize: w.QuerySize,
+				QPS: w.QPS, Interval: w.Interval,
+				Priority: w.Priority, ECN: true, NewCC: newCC, Opts: opts,
+				Collector: col, LinkBps: spec.Topology.LinkBps, OneWayBase: oneWay,
+			}
+			if w.Client < 0 {
+				q.RandomClient = true
+				q.Servers = allHosts
+			} else {
+				q.Client = pkt.NodeID(w.Client)
+				nServers := nHosts - 1
+				if w.Servers > 0 && w.Servers < nServers {
+					nServers = w.Servers
+				}
+				for _, h := range allHosts {
+					if int(h) != w.Client {
+						q.Servers = append(q.Servers, h)
+					}
+					if len(q.Servers) == nServers {
+						break
+					}
+				}
+			}
+			if q.Interval == 0 && q.QPS == 0 {
+				// Sparse queries: leave headroom so a congested query still
+				// finishes before the next (the §6.2 1% query load).
+				unloaded := workload.IdealFCT(w.QuerySize, spec.Topology.LinkBps, oneWay)
+				q.Interval = 10 * unloaded
+				if q.Interval < 4*sim.Millisecond {
+					q.Interval = 4 * sim.Millisecond
+				}
+			}
+			q.Start(spec.Warmup, horizon)
+			running[i] = startStop{
+				stop:     q.Stop,
+				timeouts: q.Timeouts,
+				launched: q.Queries,
+				done:     q.Done,
+			}
+		}
+	}
+
+	// Peak-occupancy sampling across all switches.
+	sampler := net.Eng.Every(0, samplePeriod(horizon), func() {
+		for _, sw := range net.Switches {
+			if occ := sw.Occupancy(); occ > res.MaxOccupancy {
+				res.MaxOccupancy = occ
+			}
+		}
+	})
+
+	// Run: a gated scenario ends when its queries are answered (bounded
+	// by a straggler deadline); an ungated one runs to the horizon.
+	var gated *startStop
+	var gateQueries int64
+	if gate >= 0 {
+		gated = &running[gate]
+		gateQueries = int64(spec.Workloads[gate].Queries)
+	}
+	deadline := horizon + 500*sim.Millisecond
+	for net.Eng.Now() < sim.Time(deadline) {
+		if gated != nil {
+			done := gated.done()
+			if done >= gateQueries {
+				break
+			}
+			// Past the horizon no new queries are issued; once every
+			// issued one is answered there is nothing left to wait for
+			// (quick scales may issue fewer than the budget).
+			if net.Eng.Now() >= sim.Time(horizon) && done >= gated.launched() {
+				break
+			}
+		} else if net.Eng.Now() >= sim.Time(horizon) {
+			break
+		}
+		net.Eng.RunFor(5 * sim.Millisecond)
+	}
+	sampler.Stop()
+	for _, tk := range tickers {
+		tk.Stop()
+	}
+	for i := range running {
+		if running[i].stop != nil {
+			running[i].stop()
+		}
+		if running[i].timeouts != nil {
+			res.Workloads[i].Timeouts = running[i].timeouts()
+		}
+		if running[i].launched != nil {
+			res.Workloads[i].Launched = running[i].launched()
+		}
+		if running[i].done != nil {
+			res.Workloads[i].Done = running[i].done()
+		}
+	}
+	finishResult(res, net.Switches, net.Eng)
+	return res, nil
+}
+
+// runRaw executes a raw-injection spec: packets go straight into one
+// switch, no hosts, no transport.
+func runRaw(spec Spec) (*Result, error) {
+	t := spec.Topology
+	eng := sim.NewEngine()
+	policy, occ, _ := spec.Policy.Build(t.Classes)
+	sched, _ := t.schedKind()
+	sw := switchsim.New("sw0", eng, switchsim.Config{
+		Ports:             t.Hosts,
+		ClassesPerPort:    t.Classes,
+		BufferBytes:       t.BufferSize(),
+		CellBytes:         t.CellBytes,
+		Policy:            policy,
+		Occamy:            occ,
+		ECNThresholdBytes: t.ECNThresholdBytes,
+		Scheduler:         sched,
+	})
+	pool := pkt.NewPool()
+	for i := 0; i < t.Hosts; i++ {
+		sw.AttachPort(i, t.hostRate(i), 0, pool.Put)
+	}
+	sw.SetRouter(func(p *pkt.Packet) int { return int(p.Dst) })
+	if tk := wireClocks(sw, eng); tk != nil {
+		defer tk.Stop()
+	}
+
+	res := &Result{
+		Spec:        spec,
+		Workloads:   make([]WorkloadStats, len(spec.Workloads)),
+		BufferBytes: t.BufferSize(),
+	}
+	injectors := make([]*experiments.Injector, len(spec.Workloads))
+	sw.DropHook = func(p *pkt.Packet, q int, r switchsim.DropReason) {
+		if i := int(p.FlowID) - 1; i >= 0 && i < len(res.Workloads) {
+			res.Workloads[i].Drops++
+		}
+		pool.Put(p)
+	}
+	horizon := spec.Warmup + spec.Duration
+	for i, w := range spec.Workloads {
+		res.Workloads[i].Kind, res.Workloads[i].Label = w.Kind, w.label(i)
+		in := &experiments.Injector{
+			Eng: eng, Sw: sw, Dst: pkt.NodeID(w.DstPort),
+			Prio: w.Priority, PktSize: w.PktSize, FlowID: uint64(i + 1), Pool: pool,
+		}
+		injectors[i] = in
+		switch w.Kind {
+		case WLCBR:
+			in.StartCBR(sim.Time(w.At), w.RateBps)
+		case WLBurst:
+			in.Burst(sim.Time(w.At), w.Bytes, w.RateBps)
+		}
+	}
+	sampler := eng.Every(0, samplePeriod(horizon), func() {
+		if occ := sw.Occupancy(); occ > res.MaxOccupancy {
+			res.MaxOccupancy = occ
+		}
+	})
+
+	eng.RunUntil(sim.Time(horizon))
+	for _, in := range injectors {
+		in.Stop()
+	}
+	sampler.Stop()
+	eng.Run() // drain the queues: injection has stopped, events are finite
+	for i := range injectors {
+		res.Workloads[i].SentPackets = injectors[i].Sent
+		res.Workloads[i].SentBytes = injectors[i].Bytes
+	}
+	finishResult(res, []*switchsim.Switch{sw}, eng)
+	return res, nil
+}
+
+// samplePeriod adapts occupancy sampling to the run length: ~1000
+// samples, clamped to [1µs, 100µs].
+func samplePeriod(horizon sim.Duration) sim.Duration {
+	p := horizon / 1000
+	if p < sim.Microsecond {
+		p = sim.Microsecond
+	}
+	if p > 100*sim.Microsecond {
+		p = 100 * sim.Microsecond
+	}
+	return p
+}
+
+// finishResult snapshots switch state into the result.
+func finishResult(res *Result, switches []*switchsim.Switch, eng *sim.Engine) {
+	for _, sw := range switches {
+		st := sw.Stats()
+		res.PerSwitch = append(res.PerSwitch, st)
+		res.Buffered = append(res.Buffered, sw.BufferedPackets())
+		res.Occupancy = append(res.Occupancy, sw.Occupancy())
+		res.Total.RxPackets += st.RxPackets
+		res.Total.TxPackets += st.TxPackets
+		res.Total.TxBytes += st.TxBytes
+		res.Total.DropsAdmission += st.DropsAdmission
+		res.Total.DropsNoMemory += st.DropsNoMemory
+		res.Total.DropsExpelled += st.DropsExpelled
+		res.Total.ECNMarked += st.ECNMarked
+	}
+	res.Events = eng.Processed()
+}

@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"occamy/internal/experiments"
+	"occamy/internal/sim"
+)
+
+// The shipped catalog.
+//
+// The first six entries port the repository's hand-wired programs — the
+// four examples/ and the Fig 6/7 harnesses — onto the declarative layer;
+// the rest are at-scale workloads the paper's evaluation does not cover.
+// Sizes are written out as concrete numbers (specs are data): a
+// single-switch buffer defaults to 5.12KB/port/Gbps, so 8×10G ≈ 410KB
+// and 32×10G ≈ 1.6MB.
+
+func init() {
+	// --- Ported: examples/quickstart ---------------------------------
+	// One queue pinned at its DT threshold by 2× line-rate traffic, then
+	// a 400KB burst at 100G into a second queue: the expulsion engine
+	// reclaims the over-allocation (watch the expelled column).
+	Register(Scenario{Spec: Spec{
+		Name:  "quickstart",
+		Title: "Occamy expulsion demo: pinned queue vs 400KB burst (1MB buffer)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 8, LinkBps: 10e9, BufferBytes: 1 << 20,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLCBR, Label: "longlived", DstPort: 0, RateBps: 20e9},
+			{Kind: WLBurst, Label: "burst", DstPort: 1, RateBps: 100e9,
+				Bytes: 400_000, At: 900 * sim.Microsecond},
+		},
+		Duration: 1400 * sim.Microsecond,
+	}})
+
+	// --- Ported: examples/burstabsorb (one grid point) ---------------
+	// The Fig 12 scenario: sweep policy.kind / policy.alpha /
+	// workloads[1].bytes from the CLI to reproduce the example's table.
+	Register(Scenario{Spec: Spec{
+		Name:  "burst-absorb",
+		Title: "burst absorption: steady 2x queue + 100G burst (1.2MB buffer)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 8, LinkBps: 10e9, BufferBytes: 1_200_000,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 2},
+		Workloads: []Workload{
+			{Kind: WLCBR, Label: "longlived", DstPort: 0, RateBps: 20e9},
+			{Kind: WLBurst, Label: "burst", DstPort: 1, RateBps: 100e9,
+				Bytes: 500_000, At: 1250 * sim.Microsecond},
+		},
+		Duration: 1650 * sim.Microsecond,
+	}})
+
+	// --- Ported: examples/leafspine ----------------------------------
+	Register(Scenario{Spec: Spec{
+		Name:  "leafspine-demo",
+		Title: "leaf-spine 2x2x4: web-search 90% + random-client incast",
+		Topology: Topology{
+			Kind: LeafSpine, Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+			LinkBps: 10e9, BufferBytes: 300 << 10, ECNThresholdBytes: 60 << 10,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLBackground, Load: 0.9},
+			{Kind: WLIncast, Client: -1, Fanout: 6, QuerySize: 245_760,
+				Interval: 2 * sim.Millisecond, Queries: 12},
+		},
+		Warmup:   sim.Millisecond,
+		Duration: 24 * sim.Millisecond,
+	}})
+
+	// --- Ported: examples/bufferchoking ------------------------------
+	// Strict priority, 14 persistent low-priority hostage flows, then a
+	// high-priority incast. Sweep policy.kind=dt,occamy to reproduce the
+	// example's comparison.
+	Register(Scenario{Spec: Spec{
+		Name:  "buffer-choking",
+		Title: "HP incast vs LP hostage buffer (SP scheduling, 512KB)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 8, LinkBps: 10e9,
+			BufferBytes: 512 << 10, ECNThresholdBytes: 200 << 10,
+			Classes: 2, Scheduler: "sp",
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8, AlphaHP: 8, AlphaLP: 1},
+		Workloads: []Workload{
+			{Kind: WLLongLived, Count: 14, Priority: 1, Client: 0, DupThresh: 3},
+			{Kind: WLIncast, Client: 0, Servers: 5, Fanout: 20,
+				QuerySize: 800_000, Priority: 0, DupThresh: 3, Queries: 4},
+		},
+		Warmup:   10 * sim.Millisecond,
+		Duration: 40 * sim.Millisecond,
+	}})
+
+	// --- Ported: Fig 6 harness (bespoke multi-run table) -------------
+	Register(Scenario{
+		Spec: Spec{
+			Name:  "fig6-anomalies",
+			Title: "DT anomalies: incast vs competing traffic (figure harness)",
+		},
+		Tables: func(quick bool) []*experiments.Table {
+			if quick {
+				return []*experiments.Table{experiments.Fig6Anomalies(3, []float64{1.5})}
+			}
+			return []*experiments.Table{experiments.Fig6Anomalies(10, nil)}
+		},
+	})
+
+	// --- Ported: Fig 7 harness (bespoke multi-run table) -------------
+	Register(Scenario{
+		Spec: Spec{
+			Name:  "fig7-utilization",
+			Title: "buffer & memory-bandwidth utilization on drop (figure harness)",
+		},
+		Tables: func(quick bool) []*experiments.Table {
+			sc := experiments.QuickFabric()
+			if quick {
+				sc.Queries = 3
+			}
+			a, b := experiments.Fig7Utilization(sc)
+			return []*experiments.Table{a, b}
+		},
+	})
+
+	// --- New: 256-way incast storm -----------------------------------
+	// Far beyond the paper's incast degree 40: 256 synchronized response
+	// flows across 31 servers into one port, twice the buffer per query,
+	// over light background load.
+	Register(Scenario{Spec: Spec{
+		Name:  "incast-storm-256",
+		Title: "256-way incast storm into one port (32 hosts, 2x-buffer queries)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 32, LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLBackground, Load: 0.2},
+			{Kind: WLIncast, Client: 0, Fanout: 256, QuerySize: 3_400_000,
+				Queries: 15},
+		},
+		Duration: 400 * sim.Millisecond,
+	}})
+
+	// --- New: mixed web-search + cache at 0.9 utilization -------------
+	// Two heavy-tailed distributions sharing the low-priority class at a
+	// combined 90% load while queries ride the high-priority class — the
+	// bimodal mix production fabrics actually carry.
+	Register(Scenario{Spec: Spec{
+		Name:  "mixed-load-90",
+		Title: "mixed websearch+cache background at 0.9 load + HP incast (DRR)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 8, LinkBps: 10e9,
+			Classes: 2, Scheduler: "drr",
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLBackground, Label: "websearch", Load: 0.45, Priority: 1},
+			{Kind: WLBackground, Label: "cache", Dist: "cache", Load: 0.45, Priority: 1},
+			{Kind: WLIncast, Client: 0, QuerySize: 250_000, Priority: 0,
+				Queries: 15},
+		},
+		Duration: 80 * sim.Millisecond,
+	}})
+
+	// --- New: degraded-port leaf-spine -------------------------------
+	// Two hosts on different leaves run at quarter/half rate (flapping
+	// optics): their slow-draining queues hoard shared buffer, which a
+	// preemptive BM must reclaim for everyone else.
+	Register(Scenario{Spec: Spec{
+		Name:  "degraded-leafspine",
+		Title: "leaf-spine with degraded host links (0.25x/0.5x) under load",
+		Topology: Topology{
+			Kind: LeafSpine, Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+			LinkBps:       10e9,
+			DegradedPorts: map[int]float64{1: 0.25, 5: 0.5},
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLBackground, Load: 0.6},
+			{Kind: WLIncast, Client: -1, Fanout: 8, QuerySize: 184_000,
+				Interval: 2 * sim.Millisecond, Queries: 12},
+		},
+		Warmup:   sim.Millisecond,
+		Duration: 24 * sim.Millisecond,
+	}})
+
+	// --- New: bursty all-reduce --------------------------------------
+	// Training traffic is on/off, not Poisson: all-reduce rounds at 90%
+	// load in 1.5ms bursts with 1.5ms gaps, with incast queries landing
+	// in and between the bursts.
+	Register(Scenario{Spec: Spec{
+		Name:  "bursty-allreduce",
+		Title: "bursty all-reduce (1.5ms on/1.5ms off at 0.9) + incast queries",
+		Topology: Topology{
+			Kind: LeafSpine, Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+			LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLAllReduce, FlowSize: 262_144, Load: 0.9,
+				OnTime: 1500 * sim.Microsecond, OffTime: 1500 * sim.Microsecond},
+			{Kind: WLIncast, Client: -1, Fanout: 8, QuerySize: 150_000,
+				Interval: 2 * sim.Millisecond, Queries: 12},
+		},
+		Warmup:   sim.Millisecond,
+		Duration: 24 * sim.Millisecond,
+	}})
+
+	// --- New: rotating permutation stress ----------------------------
+	// Every host sends 1MB to a stride-rotated peer at 95% load: no
+	// fan-in anywhere, so drops and slowdowns expose pure buffer-policy
+	// and scheduling effects.
+	Register(Scenario{Spec: Spec{
+		Name:  "permutation-stress",
+		Title: "rotating permutation at 0.95 load (16 hosts, 1MB flows)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 16, LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLPermutation, FlowSize: 1_000_000, Load: 0.95, RotateStride: true},
+		},
+		Duration: 30 * sim.Millisecond,
+		Metrics: []string{"policy", "bg_avg_fct_ms", "bg_avg_slow", "delivered_mb",
+			"drops", "expelled", "ecn_marked", "max_occ_pct"},
+	}})
+}

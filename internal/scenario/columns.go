@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"occamy/internal/experiments"
+)
+
+// Metric columns
+//
+// A spec's Metrics field selects summary-table columns by name; nil picks
+// a default set from the workload mix. Each column is a pure function of
+// the Result, so sweeps produce one comparable row per grid point.
+
+// incastStats returns the gating (or first) incast workload's stats.
+func (r *Result) incastStats() *WorkloadStats {
+	for i := range r.Workloads {
+		if r.Workloads[i].Kind == WLIncast {
+			return &r.Workloads[i]
+		}
+	}
+	return nil
+}
+
+// loadStats returns the first load-bearing (non-incast, non-raw)
+// workload's stats: the "background" of the summary columns.
+func (r *Result) loadStats() *WorkloadStats {
+	for i := range r.Workloads {
+		switch r.Workloads[i].Kind {
+		case WLBackground, WLPermutation, WLAllToAll, WLAllReduce:
+			return &r.Workloads[i]
+		}
+	}
+	return nil
+}
+
+// burstLoss returns the aggregate loss fraction of raw burst traffic.
+func (r *Result) burstLoss() float64 {
+	var sent, drops int64
+	for i := range r.Workloads {
+		if r.Workloads[i].Kind == WLBurst {
+			sent += r.Workloads[i].SentPackets
+			drops += r.Workloads[i].Drops
+		}
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(drops) / float64(sent)
+}
+
+// columnFuncs maps metric names to their cell renderers.
+var columnFuncs = map[string]func(*Result) string{
+	"policy": func(r *Result) string { return r.Spec.Policy.Label() },
+	"qct_avg_ms": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return experiments.Ms(q.Col.MeanFCT())
+		}
+		return "-"
+	},
+	"qct_p99_ms": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return experiments.Ms(q.Col.P99FCT())
+		}
+		return "-"
+	},
+	"qct_avg_slow": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return experiments.F(q.Col.MeanSlowdown())
+		}
+		return "-"
+	},
+	"qct_p99_slow": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return experiments.F(q.Col.P99Slowdown())
+		}
+		return "-"
+	},
+	"queries_done": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return fmt.Sprint(q.Done)
+		}
+		return "-"
+	},
+	"rtos": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return fmt.Sprint(q.Timeouts)
+		}
+		return "-"
+	},
+	"bg_avg_fct_ms": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.Ms(b.Col.MeanFCT())
+		}
+		return "-"
+	},
+	"bg_p99_fct_ms": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.Ms(b.Col.P99FCT())
+		}
+		return "-"
+	},
+	"bg_avg_slow": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.F(b.Col.MeanSlowdown())
+		}
+		return "-"
+	},
+	"small_bg_p99_slow": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.F(b.Col.Small(100_000).P99Slowdown())
+		}
+		return "-"
+	},
+	"delivered_mb": func(r *Result) string { return experiments.F(float64(r.Total.TxBytes) / 1e6) },
+	"drops":        func(r *Result) string { return fmt.Sprint(r.Total.Drops()) },
+	"expelled":     func(r *Result) string { return fmt.Sprint(r.Total.DropsExpelled) },
+	"ecn_marked":   func(r *Result) string { return fmt.Sprint(r.Total.ECNMarked) },
+	"burst_loss":   func(r *Result) string { return experiments.F(r.burstLoss()) },
+	"max_occ_pct": func(r *Result) string {
+		if r.BufferBytes == 0 {
+			return "0"
+		}
+		return experiments.F(100 * float64(r.MaxOccupancy) / float64(r.BufferBytes))
+	},
+}
+
+// MetricNames returns every selectable column, sorted.
+func MetricNames() []string {
+	names := make([]string, 0, len(columnFuncs))
+	for n := range columnFuncs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultMetrics picks summary columns from the workload mix.
+func DefaultMetrics(spec Spec) []string {
+	if spec.Raw() {
+		return []string{"policy", "delivered_mb", "burst_loss", "drops", "expelled", "max_occ_pct"}
+	}
+	cols := []string{"policy"}
+	hasIncast, hasLoad := false, false
+	for _, w := range spec.Workloads {
+		switch w.Kind {
+		case WLIncast:
+			hasIncast = true
+		case WLBackground, WLPermutation, WLAllToAll, WLAllReduce:
+			hasLoad = true
+		}
+	}
+	if hasIncast {
+		cols = append(cols, "qct_avg_ms", "qct_p99_ms", "qct_avg_slow", "rtos")
+	}
+	if hasLoad {
+		cols = append(cols, "bg_avg_fct_ms", "small_bg_p99_slow")
+	}
+	return append(cols, "drops", "expelled", "max_occ_pct")
+}
+
+// metricsOf resolves the effective column list of a spec.
+func metricsOf(spec Spec) []string {
+	if len(spec.Metrics) > 0 {
+		return spec.Metrics
+	}
+	return DefaultMetrics(spec)
+}
+
+// Row renders the selected metric cells for this result.
+func (r *Result) Row(metrics []string) []string {
+	cells := make([]string, len(metrics))
+	for i, m := range metrics {
+		fn, ok := columnFuncs[m]
+		if !ok {
+			cells[i] = "?" + m
+			continue
+		}
+		cells[i] = fn(r)
+	}
+	return cells
+}
+
+// Table renders a one-row summary of a single run.
+func (r *Result) Table() *experiments.Table {
+	return Summarize(r.Spec.Name, r.Spec.Title, []string{r.Spec.Name}, []*Result{r}, metricsOf(r.Spec))
+}
+
+// Summarize renders one row per result, prefixed with its label (sweeps
+// use the swept field values as labels).
+func Summarize(id, title string, labels []string, results []*Result, metrics []string) *experiments.Table {
+	t := &experiments.Table{
+		ID:      id,
+		Title:   title,
+		Columns: append([]string{"scenario"}, metrics...),
+	}
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		t.AddRow(append([]string{labels[i]}, r.Row(metrics)...)...)
+	}
+	return t
+}

@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"occamy/internal/experiments"
+	"occamy/internal/sim"
+)
+
+// Spec field access by path
+//
+// Sweeps address spec fields with dotted, case-insensitive paths:
+//
+//	policy.alpha
+//	topology.hosts
+//	workloads[1].load
+//	duration
+//
+// SetField parses the string value per the field's type (durations accept
+// Go syntax: "2ms", "150us"), so the CLI can sweep any spec field without
+// per-field code.
+
+// SetField assigns value (parsed per the field's type) to the path inside
+// spec.
+func SetField(spec *Spec, path, value string) error {
+	v, err := resolve(reflect.ValueOf(spec).Elem(), path)
+	if err != nil {
+		return err
+	}
+	return assign(v, path, value)
+}
+
+// resolve walks a dotted path (with optional [i] indexing) to a settable
+// reflect.Value.
+func resolve(v reflect.Value, path string) (reflect.Value, error) {
+	for _, part := range strings.Split(path, ".") {
+		name := part
+		index := -1
+		if i := strings.IndexByte(part, '['); i >= 0 {
+			if !strings.HasSuffix(part, "]") {
+				return v, fmt.Errorf("scenario: malformed index in %q", part)
+			}
+			n, err := strconv.Atoi(part[i+1 : len(part)-1])
+			if err != nil {
+				return v, fmt.Errorf("scenario: malformed index in %q", part)
+			}
+			name, index = part[:i], n
+		}
+		if v.Kind() != reflect.Struct {
+			return v, fmt.Errorf("scenario: %q is not a struct field path", path)
+		}
+		field := v.FieldByNameFunc(func(f string) bool { return strings.EqualFold(f, name) })
+		if !field.IsValid() {
+			return v, fmt.Errorf("scenario: no field %q in %s", name, v.Type())
+		}
+		v = field
+		if index >= 0 {
+			if v.Kind() != reflect.Slice {
+				return v, fmt.Errorf("scenario: field %q is not a slice", name)
+			}
+			if index >= v.Len() {
+				return v, fmt.Errorf("scenario: index %d out of range for %q (len %d)", index, name, v.Len())
+			}
+			v = v.Index(index)
+		}
+	}
+	if !v.CanSet() {
+		return v, fmt.Errorf("scenario: field %q is not settable", path)
+	}
+	return v, nil
+}
+
+var durationType = reflect.TypeOf(sim.Duration(0))
+
+func assign(v reflect.Value, path, value string) error {
+	// sim.Duration fields take Go duration syntax ("150us", "2ms").
+	if v.Type() == durationType {
+		d, err := time.ParseDuration(value)
+		if err != nil {
+			return fmt.Errorf("scenario: %s: %w", path, err)
+		}
+		v.SetInt(d.Nanoseconds())
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(value)
+	case reflect.Bool:
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("scenario: %s: %w", path, err)
+		}
+		v.SetBool(b)
+	case reflect.Int, reflect.Int64:
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			// Accept float syntax for int fields ("2e6" buffer sizes).
+			f, ferr := strconv.ParseFloat(value, 64)
+			if ferr != nil {
+				return fmt.Errorf("scenario: %s: %w", path, err)
+			}
+			n = int64(f)
+		}
+		v.SetInt(n)
+	case reflect.Uint64:
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("scenario: %s: %w", path, err)
+		}
+		v.SetUint(n)
+	case reflect.Float64:
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("scenario: %s: %w", path, err)
+		}
+		v.SetFloat(f)
+	default:
+		return fmt.Errorf("scenario: field %q has unsupported type %s", path, v.Type())
+	}
+	return nil
+}
+
+// SweepAxis is one swept field: a path and its values.
+type SweepAxis struct {
+	Path   string
+	Values []string
+}
+
+// ParseSweep parses a "path=v1,v2,v3" CLI argument.
+func ParseSweep(arg string) (SweepAxis, error) {
+	eq := strings.IndexByte(arg, '=')
+	if eq <= 0 {
+		return SweepAxis{}, fmt.Errorf("scenario: sweep %q is not path=v1,v2,...", arg)
+	}
+	ax := SweepAxis{Path: arg[:eq], Values: strings.Split(arg[eq+1:], ",")}
+	if len(ax.Values) == 0 || ax.Values[0] == "" {
+		return SweepAxis{}, fmt.Errorf("scenario: sweep %q has no values", arg)
+	}
+	return ax, nil
+}
+
+// Expand builds the cross-product of the axes over a base spec,
+// returning one spec per grid point plus a label ("alpha=2 load=0.9").
+func Expand(base Spec, axes []SweepAxis) (specs []Spec, labels []string, err error) {
+	specs, labels = []Spec{base}, []string{base.Name}
+	for _, ax := range axes {
+		short := ax.Path
+		if i := strings.LastIndexByte(short, '.'); i >= 0 {
+			short = short[i+1:]
+		}
+		var nextSpecs []Spec
+		var nextLabels []string
+		for i, s := range specs {
+			for _, val := range ax.Values {
+				cp := s
+				// Deep-copy the slices reflection will write through.
+				cp.Workloads = append([]Workload(nil), s.Workloads...)
+				cp.Metrics = append([]string(nil), s.Metrics...)
+				if err := SetField(&cp, ax.Path, val); err != nil {
+					return nil, nil, err
+				}
+				label := fmt.Sprintf("%s=%s", short, val)
+				if len(axes) > 1 || len(specs) > 1 {
+					if labels[i] != base.Name {
+						label = labels[i] + " " + label
+					}
+				}
+				nextSpecs = append(nextSpecs, cp)
+				nextLabels = append(nextLabels, label)
+			}
+		}
+		specs, labels = nextSpecs, nextLabels
+	}
+	return specs, labels, nil
+}
+
+// RunSweep executes the grid concurrently (experiments.RunGrid honors
+// the -j worker cap with deterministic, input-ordered results) and
+// returns the summary table: one row per point.
+func RunSweep(base Spec, axes []SweepAxis) (*experiments.Table, error) {
+	// The base spec is expanded as-is: defaults are derived inside Run
+	// per grid point, so a sweep over (say) topology.hosts recomputes the
+	// dependent defaults (incast fanout, ECN threshold) for every point
+	// instead of freezing them at the base topology's values.
+	specs, labels, err := Expand(base, axes)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range specs {
+		if err := s.WithDefaults().Validate(); err != nil {
+			return nil, err
+		}
+	}
+	results := experiments.RunGrid(specs, func(s Spec) *Result {
+		r, err := Run(s)
+		if err != nil {
+			panic(err) // validated above; a failure here is a builder bug
+		}
+		return r
+	})
+	title := base.Title
+	if len(axes) > 0 {
+		var ps []string
+		for _, ax := range axes {
+			ps = append(ps, ax.Path)
+		}
+		title = fmt.Sprintf("%s (sweep %s)", base.Title, strings.Join(ps, " × "))
+	}
+	return Summarize(base.Name, title, labels, results, metricsOf(base)), nil
+}

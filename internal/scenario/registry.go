@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"occamy/internal/experiments"
+	"occamy/internal/sim"
+)
+
+// Scenario is a registry entry: a spec plus optional scale/runner hooks.
+type Scenario struct {
+	Spec Spec
+	// Quick shrinks the spec to test scale (smoke tests, `run -scale
+	// quick`). Nil applies the generic shrink (fewer queries, shorter
+	// horizon).
+	Quick func(Spec) Spec
+	// Tables, when set, replaces the generic builder: the ported figure
+	// harnesses keep their bespoke multi-run tables (and byte-identical
+	// output, pinned by the golden tests). Tables-backed entries cannot
+	// be swept.
+	Tables func(quick bool) []*experiments.Table
+}
+
+// Name returns the registry key.
+func (s Scenario) Name() string { return s.Spec.Name }
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a scenario; duplicate names panic (catalog bugs should
+// fail loudly at init).
+func Register(s Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if s.Spec.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if _, dup := registry[s.Spec.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Spec.Name))
+	}
+	if s.Tables == nil {
+		if err := s.Spec.WithDefaults().Validate(); err != nil {
+			panic(fmt.Sprintf("scenario: registering invalid spec: %v", err))
+		}
+	}
+	registry[s.Spec.Name] = s
+}
+
+// Get looks a scenario up by name.
+func Get(name string) (Scenario, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered scenario names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// QuickSpec is the generic test-scale shrink: at most 3 gating queries,
+// a 10ms horizon, and a 1ms warmup. Raw specs (already µs-scale) keep
+// their timing.
+func QuickSpec(s Spec) Spec {
+	if s.Raw() {
+		return s
+	}
+	s.Workloads = append([]Workload(nil), s.Workloads...)
+	for i := range s.Workloads {
+		if s.Workloads[i].Queries > 3 {
+			s.Workloads[i].Queries = 3
+		}
+	}
+	if s.Duration > 10*sim.Millisecond {
+		s.Duration = 10 * sim.Millisecond
+	}
+	if s.Warmup > sim.Millisecond {
+		s.Warmup = sim.Millisecond
+	}
+	return s
+}
+
+// SpecAt returns the scenario's spec at the given scale.
+func (s Scenario) SpecAt(quick bool) Spec {
+	if !quick {
+		return s.Spec
+	}
+	if s.Quick != nil {
+		return s.Quick(s.Spec)
+	}
+	return QuickSpec(s.Spec)
+}
+
+// RunTables executes the scenario at the given scale and renders its
+// output tables — the generic one-row summary, or the figure harness's
+// bespoke tables.
+func (s Scenario) RunTables(quick bool) ([]*experiments.Table, error) {
+	if s.Tables != nil {
+		return s.Tables(quick), nil
+	}
+	r, err := Run(s.SpecAt(quick))
+	if err != nil {
+		return nil, err
+	}
+	return []*experiments.Table{r.Table()}, nil
+}

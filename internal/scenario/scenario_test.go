@@ -1,0 +1,296 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"occamy/internal/experiments"
+)
+
+func render(tabs []*experiments.Table) string {
+	var buf bytes.Buffer
+	for _, t := range tabs {
+		t.Fprint(&buf)
+	}
+	return buf.String()
+}
+
+// Every registered scenario must run at test scale with sane output:
+// traffic actually delivered, the packet-accounting books closed, and a
+// non-empty table. This is the smoke gate new catalog entries buy into
+// by calling Register.
+func TestCatalogSmoke(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("catalog has %d scenarios, want >= 8", len(names))
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, ok := Get(name)
+			if !ok {
+				t.Fatalf("Get(%q) failed", name)
+			}
+			if sc.Tables != nil {
+				tabs := sc.Tables(true)
+				if len(tabs) == 0 {
+					t.Fatal("figure scenario produced no tables")
+				}
+				for _, tab := range tabs {
+					if len(tab.Rows) == 0 {
+						t.Fatalf("figure table %s has no rows", tab.ID)
+					}
+				}
+				return
+			}
+			spec := sc.SpecAt(true)
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DeliveredBytes() == 0 {
+				t.Error("no bytes delivered")
+			}
+			if drift := res.AccountingDrift(); drift != 0 {
+				t.Errorf("packet accounting drift %d (rx != tx+drops+expelled+buffered)", drift)
+			}
+			if gate := spec.gatingIncast(); gate >= 0 && res.Workloads[gate].Done == 0 {
+				t.Error("gating incast completed no queries")
+			}
+			tab := res.Table()
+			if len(tab.Rows) != 1 || len(tab.Columns) < 3 {
+				t.Errorf("summary table malformed: %d rows, %d cols", len(tab.Rows), len(tab.Columns))
+			}
+			for _, cell := range tab.Rows[0] {
+				if cell == "" {
+					t.Error("empty summary cell")
+				}
+			}
+		})
+	}
+}
+
+// Identical specs must give byte-identical tables: scenarios inherit the
+// engine's determinism guarantees.
+func TestScenarioDeterministic(t *testing.T) {
+	sc, _ := Get("leafspine-demo")
+	run := func() string {
+		tabs, err := sc.RunTables(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return render(tabs)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("scenario differs across identical runs:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+// Field sweeps: set-by-path plus cross-product expansion, and the sweep
+// table is invariant to the RunGrid parallelism level.
+func TestSweepAcrossPolicies(t *testing.T) {
+	sc, _ := Get("burst-absorb")
+	axes := []SweepAxis{{Path: "policy.kind", Values: []string{"dt", "occamy"}}}
+	defer experiments.SetParallelism(0)
+	experiments.SetParallelism(1)
+	serialTab, err := RunSweep(sc.SpecAt(true), axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.SetParallelism(4)
+	parTab, err := RunSweep(sc.SpecAt(true), axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := render([]*experiments.Table{serialTab}), render([]*experiments.Table{parTab})
+	if a != b {
+		t.Fatalf("sweep differs between -j 1 and -j 4:\n%s\nvs\n%s", a, b)
+	}
+	if len(serialTab.Rows) != 2 {
+		t.Fatalf("sweep rows = %d, want 2", len(serialTab.Rows))
+	}
+	// The burst-absorb scenario is sized so preemption matters: DT must
+	// lose burst packets, Occamy must lose strictly fewer.
+	idx := -1
+	for i, c := range serialTab.Columns {
+		if c == "burst_loss" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("no burst_loss column in %v", serialTab.Columns)
+	}
+	dtLoss, occLoss := serialTab.Rows[0][idx], serialTab.Rows[1][idx]
+	if dtLoss == "0" {
+		t.Errorf("DT lost no burst packets; scenario not stressing the buffer")
+	}
+	if occLoss >= dtLoss {
+		t.Errorf("Occamy burst loss %s not better than DT %s", occLoss, dtLoss)
+	}
+}
+
+func TestSetFieldPaths(t *testing.T) {
+	sc, _ := Get("leafspine-demo")
+	spec := sc.Spec
+	spec.Workloads = append([]Workload(nil), spec.Workloads...)
+	for _, c := range []struct{ path, val string }{
+		{"policy.alpha", "2"},
+		{"policy.kind", "abm"},
+		{"topology.hostsperleaf", "8"},
+		{"workloads[0].load", "0.4"},
+		{"workloads[1].interval", "3ms"},
+		{"seed", "7"},
+	} {
+		if err := SetField(&spec, c.path, c.val); err != nil {
+			t.Errorf("SetField(%s=%s): %v", c.path, c.val, err)
+		}
+	}
+	if spec.Policy.Alpha != 2 || spec.Policy.Kind != "abm" ||
+		spec.Topology.HostsPerLeaf != 8 || spec.Workloads[0].Load != 0.4 ||
+		spec.Workloads[1].Interval.Millis() != 3 || spec.Seed != 7 {
+		t.Errorf("fields not applied: %+v", spec)
+	}
+	if err := SetField(&spec, "no.such.field", "1"); err == nil {
+		t.Error("bogus path accepted")
+	}
+	if err := SetField(&spec, "workloads[9].load", "1"); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+// Degraded ports must actually slow the configured hosts down: the same
+// permutation load on a degraded fabric delivers less than on a healthy
+// one within the same horizon.
+func TestDegradedPortsBite(t *testing.T) {
+	base := Spec{
+		Name:  "degrade-check",
+		Title: "degrade check",
+		Topology: Topology{
+			Kind: LeafSpine, LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "dt", Alpha: 1},
+		Workloads: []Workload{
+			{Kind: WLPermutation, FlowSize: 200_000, Load: 0.8},
+		},
+		Duration: 5 * 1000 * 1000, // 5ms
+	}
+	healthy := MustRun(base)
+	degraded := base
+	degraded.Topology.DegradedPorts = map[int]float64{0: 0.1, 1: 0.1, 4: 0.1}
+	slow := MustRun(degraded)
+	if slow.DeliveredBytes() >= healthy.DeliveredBytes() {
+		t.Errorf("degraded fabric delivered %d >= healthy %d", slow.DeliveredBytes(), healthy.DeliveredBytes())
+	}
+}
+
+// Stateful policies must get per-switch instances on a fabric (a shared
+// TDT/EDT map across switches would corrupt state silently).
+func TestStatefulPolicyOnFabric(t *testing.T) {
+	spec := Spec{
+		Name:  "tdt-fabric",
+		Title: "tdt on fabric",
+		Topology: Topology{
+			Kind: LeafSpine, LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "tdt", Alpha: 1},
+		Workloads: []Workload{
+			{Kind: WLBackground, Load: 0.5},
+		},
+		Duration: 5 * 1000 * 1000,
+	}
+	res := MustRun(spec)
+	if res.DeliveredBytes() == 0 {
+		t.Error("no delivery under TDT fabric")
+	}
+	if drift := res.AccountingDrift(); drift != 0 {
+		t.Errorf("accounting drift %d", drift)
+	}
+}
+
+// TestHalfSpecifiedPrioAlpha: setting only AlphaHP (or only AlphaLP)
+// must leave the other classes on the base α — a zero entry in the
+// per-priority map would read as threshold 0 and starve that class.
+func TestHalfSpecifiedPrioAlpha(t *testing.T) {
+	for _, classes := range []int{2, 4} {
+		p, _, err := (Policy{Kind: "dt", Alpha: 2, AlphaHP: 8}).Build(classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &probeState{cap: 100_000, n: classes}
+		for c := 1; c < classes; c++ {
+			hp := p.Threshold(st, 0)
+			lp := p.Threshold(probeAt{st, c}, c)
+			if lp == 0 {
+				t.Fatalf("classes=%d: class %d starved (threshold 0) by half-specified AlphaHP", classes, c)
+			}
+			if hp <= lp {
+				t.Fatalf("classes=%d: AlphaHP=8 not applied: hp threshold %d <= lp %d", classes, c, hp)
+			}
+		}
+	}
+	// And AlphaLP must cover every low class when classes > 2.
+	p, _, err := (Policy{Kind: "dt", Alpha: 2, AlphaLP: 1}).Build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &probeState{cap: 100_000, n: 4}
+	ref := p.Threshold(probeAt{st, 1}, 1)
+	for c := 2; c < 4; c++ {
+		if got := p.Threshold(probeAt{st, c}, c); got != ref {
+			t.Fatalf("class %d threshold %d != class 1's %d; AlphaLP not applied uniformly", c, got, ref)
+		}
+	}
+}
+
+// probeState is an empty-buffer bm.State where queue q has priority q.
+type probeState struct{ cap, n int }
+
+func (s *probeState) Capacity() int           { return s.cap }
+func (s *probeState) Occupancy() int          { return 0 }
+func (s *probeState) NumQueues() int          { return s.n }
+func (s *probeState) QueueLen(int) int        { return 0 }
+func (s *probeState) QueuePriority(q int) int { return q }
+func (s *probeState) DequeueRate(int) float64 { return 1 }
+
+// probeAt reuses probeState but reports the wrapped priority for any
+// queried queue (so Threshold(q) sees priority class prio).
+type probeAt struct {
+	*probeState
+	prio int
+}
+
+func (s probeAt) QueuePriority(int) int { return s.prio }
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"no workloads", func(s *Spec) { s.Workloads = nil }},
+		{"bad kind", func(s *Spec) { s.Workloads = []Workload{{Kind: "nope"}} }},
+		{"bad policy", func(s *Spec) { s.Policy.Kind = "nope" }},
+		{"bad sched", func(s *Spec) { s.Topology.Scheduler = "wfq" }},
+		{"raw on fabric", func(s *Spec) {
+			s.Topology.Kind = LeafSpine
+			s.Workloads = []Workload{{Kind: WLCBR, RateBps: 1e9}}
+		}},
+		{"mixed raw+transport", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLCBR, RateBps: 1e9}, {Kind: WLBackground, Load: 0.5}}
+		}},
+		{"zero load", func(s *Spec) { s.Workloads = []Workload{{Kind: WLBackground}} }},
+	} {
+		spec := Spec{
+			Name:      "v",
+			Topology:  Topology{Kind: SingleSwitch},
+			Workloads: []Workload{{Kind: WLBackground, Load: 0.5}},
+		}
+		c.mut(&spec)
+		if err := spec.WithDefaults().Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", c.name)
+		} else if !strings.Contains(err.Error(), "scenario") {
+			t.Errorf("%s: unhelpful error %v", c.name, err)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+// Package scenario is the declarative workload layer of the repository:
+// a scenario is a small spec — topology, buffer-management policy,
+// workload mix, duration, seed, metric selection — and the package turns
+// it into a running simulation assembled from the reusable substrates
+// (netsim, switchsim, transport, workload).
+//
+// Before this layer every new workload was a ~150-line Go program wiring
+// those substrates by hand (each examples/ program and each
+// internal/experiments harness repeats the pattern); with it a workload
+// is a ~20-line Spec literal. Specs are also registrable: the catalog in
+// catalog.go ships the ported example/figure scenarios plus at-scale
+// workloads the paper does not cover, all runnable (and grid-sweepable
+// over any spec field) through cmd/occamy-scenario.
+package scenario
+
+import (
+	"fmt"
+
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+)
+
+// TopoKind selects the network shape.
+type TopoKind int
+
+const (
+	// SingleSwitch is a star: Hosts end nodes around one shared-memory
+	// switch (the testbed scenarios).
+	SingleSwitch TopoKind = iota
+	// LeafSpine is the §6.4 fabric with ECMP.
+	LeafSpine
+)
+
+func (k TopoKind) String() string {
+	if k == LeafSpine {
+		return "leaf-spine"
+	}
+	return "single-switch"
+}
+
+// Topology describes the network and its switches.
+type Topology struct {
+	Kind TopoKind
+
+	// Hosts is the end-node count (single-switch; default 8).
+	Hosts int
+	// Spines/Leaves/HostsPerLeaf size the fabric (leaf-spine; default
+	// 2×2×4).
+	Spines, Leaves, HostsPerLeaf int
+
+	// LinkBps is the host access rate (default 10G). SpineLinkBps is the
+	// leaf↔spine rate (default LinkBps).
+	LinkBps      float64
+	SpineLinkBps float64
+	// LinkDelay is the per-link propagation delay (default 5µs
+	// single-switch, 10µs leaf-spine).
+	LinkDelay sim.Duration
+	// DegradedPorts maps host IDs to a rate multiplier in (0,1): those
+	// hosts' access links run slower, modeling flapping optics or a
+	// misnegotiated port.
+	DegradedPorts map[int]float64
+
+	// BufferBytes fixes the shared buffer per switch. When zero the
+	// buffer is sized Tomahawk-style from BufferKBPerPortPerGbps
+	// (default 5.12).
+	BufferBytes            int
+	BufferKBPerPortPerGbps float64
+	// CellBytes is the buffer cell size (default 200).
+	CellBytes int
+
+	// Classes is the number of traffic classes per port (default 1).
+	Classes int
+	// Scheduler is the per-port discipline across classes:
+	// "fifo" (default), "drr", or "sp".
+	Scheduler string
+
+	// ECNThresholdBytes fixes the marking point. When zero it defaults to
+	// 65 MTUs on a single switch and ECNThresholdFrac×BDP (default 0.72)
+	// on a fabric.
+	ECNThresholdBytes int
+	ECNThresholdFrac  float64
+}
+
+// NumHosts returns the total host count.
+func (t Topology) NumHosts() int {
+	if t.Kind == LeafSpine {
+		return t.Leaves * t.HostsPerLeaf
+	}
+	return t.Hosts
+}
+
+// SwitchPorts returns the port count of the (largest) switch, used for
+// Tomahawk-style buffer sizing.
+func (t Topology) SwitchPorts() int {
+	if t.Kind == LeafSpine {
+		return t.HostsPerLeaf + t.Spines
+	}
+	return t.Hosts
+}
+
+// hostRate returns host id's access rate with any degraded-port
+// multiplier applied (non-positive multipliers are ignored).
+func (t Topology) hostRate(id int) float64 {
+	if mult, ok := t.DegradedPorts[id]; ok && mult > 0 {
+		return mult * t.LinkBps
+	}
+	return t.LinkBps
+}
+
+// BufferSize resolves the shared buffer in bytes.
+func (t Topology) BufferSize() int {
+	if t.BufferBytes > 0 {
+		return t.BufferBytes
+	}
+	return int(t.BufferKBPerPortPerGbps * 1024 * float64(t.SwitchPorts()) * t.LinkBps / 1e9)
+}
+
+func (t Topology) schedKind() (switchsim.SchedKind, error) {
+	switch t.Scheduler {
+	case "", "fifo":
+		return switchsim.SchedFIFO, nil
+	case "drr":
+		return switchsim.SchedDRR, nil
+	case "sp":
+		return switchsim.SchedSP, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown scheduler %q (fifo|drr|sp)", t.Scheduler)
+}
+
+// Workload kinds.
+const (
+	// Background: Poisson 1-to-1 flows with sizes from Dist at Load.
+	WLBackground = "background"
+	// Incast: partition–aggregate queries; the first incast workload with
+	// Queries > 0 gates the run (it ends once they complete).
+	WLIncast = "incast"
+	// Permutation: rounds of host i → host i+Stride flows at Load.
+	WLPermutation = "permutation"
+	// AllToAll / AllReduce: the AI collective patterns.
+	WLAllToAll  = "alltoall"
+	WLAllReduce = "allreduce"
+	// LongLived: Count persistent (effectively infinite) flows toward
+	// Client from the topologically last hosts.
+	WLLongLived = "longlived"
+	// CBR / Burst: raw packet injection straight into the switch — no
+	// transport, no hosts (the Pktgen role of the P4 scenarios). Raw
+	// kinds cannot be mixed with transport kinds in one spec.
+	WLCBR   = "cbr"
+	WLBurst = "burst"
+)
+
+// Workload is one traffic component of a scenario. Fields are a union
+// across kinds; each kind documents what it reads.
+type Workload struct {
+	// Kind is one of the WL* constants.
+	Kind string
+	// Label names the component in metric columns (default: Kind).
+	Label string
+
+	// Load is the offered load as a fraction of access bandwidth
+	// (background, permutation, alltoall, allreduce).
+	Load float64
+	// Dist selects the flow-size distribution for background traffic:
+	// "websearch" (default), "cache", or "uniform" (FlowSize bytes).
+	Dist string
+	// FlowSize is the per-flow size for collectives/permutation and the
+	// "uniform" distribution.
+	FlowSize int64
+
+	// QuerySize is the total incast response volume per query; Fanout the
+	// number of response flows; Queries how many queries to measure;
+	// Interval the spacing (0 derives ~10× the unloaded QCT); QPS an
+	// optional Poisson query rate replacing Interval.
+	QuerySize int64
+	Fanout    int
+	Queries   int
+	Interval  sim.Duration
+	QPS       float64
+	// Client fixes the incast client (and the longlived destination);
+	// -1 picks a random client per query. Servers restricts incast
+	// responders to hosts 1..Servers (0 = all non-client hosts).
+	Client  int
+	Servers int
+
+	// Count is the number of longlived flows.
+	Count int
+	// Stride is the permutation offset (default 1); RotateStride advances
+	// it every round.
+	Stride       int
+	RotateStride bool
+
+	// Priority is the traffic class; CC the congestion controller
+	// ("dctcp" default, "cubic", "reno"); DupThresh a fixed fast-
+	// retransmit threshold (0 = adaptive early retransmit).
+	Priority  int
+	CC        string
+	DupThresh int
+	// ExcludeClient keeps this workload off the gating incast client
+	// (the Fig 6 inter-port configuration).
+	ExcludeClient bool
+
+	// OnTime/OffTime gate round-based generators into bursts: the
+	// workload runs for OnTime, pauses for OffTime, repeating. Zero
+	// OnTime means always on.
+	OnTime, OffTime sim.Duration
+
+	// Raw injection (cbr, burst): DstPort is the egress port, RateBps the
+	// injection rate, Bytes the burst volume, At the burst start, PktSize
+	// the packet size (default 1000).
+	DstPort int
+	RateBps float64
+	Bytes   int64
+	At      sim.Duration
+	PktSize int
+}
+
+func (w Workload) label(i int) string {
+	if w.Label != "" {
+		return w.Label
+	}
+	return fmt.Sprintf("%s%d", w.Kind, i)
+}
+
+func (w Workload) raw() bool { return w.Kind == WLCBR || w.Kind == WLBurst }
+
+// Spec is a complete declarative scenario.
+type Spec struct {
+	// Name identifies the scenario (registry key, table ID).
+	Name string
+	// Title is the human-readable one-liner.
+	Title string
+
+	Topology  Topology
+	Policy    Policy
+	Workloads []Workload
+
+	// Warmup delays the gating incast so background traffic reaches
+	// steady state (default 2ms when a gating incast exists).
+	Warmup sim.Duration
+	// Duration is the measurement horizon after warmup. Runs with a
+	// gating incast may end earlier (all queries answered) or up to 500ms
+	// later (stragglers).
+	Duration sim.Duration
+	// Seed seeds every RNG in the run (default 42).
+	Seed uint64
+
+	// Metrics selects summary-table columns by name (see columns.go);
+	// nil picks a default set based on the workload mix.
+	Metrics []string
+}
+
+// WithDefaults returns the spec with every defaultable field resolved.
+func (s Spec) WithDefaults() Spec {
+	t := &s.Topology
+	switch t.Kind {
+	case SingleSwitch:
+		if t.Hosts == 0 {
+			t.Hosts = 8
+		}
+		if t.LinkDelay == 0 {
+			t.LinkDelay = 5 * sim.Microsecond
+		}
+	case LeafSpine:
+		if t.Spines == 0 {
+			t.Spines = 2
+		}
+		if t.Leaves == 0 {
+			t.Leaves = 2
+		}
+		if t.HostsPerLeaf == 0 {
+			t.HostsPerLeaf = 4
+		}
+		if t.LinkDelay == 0 {
+			t.LinkDelay = 10 * sim.Microsecond
+		}
+	}
+	if t.LinkBps == 0 {
+		t.LinkBps = 10e9
+	}
+	if t.SpineLinkBps == 0 {
+		t.SpineLinkBps = t.LinkBps
+	}
+	if t.BufferBytes == 0 && t.BufferKBPerPortPerGbps == 0 {
+		t.BufferKBPerPortPerGbps = 5.12
+	}
+	if t.Classes == 0 {
+		t.Classes = 1
+	}
+	if t.ECNThresholdBytes == 0 {
+		if t.Kind == LeafSpine {
+			frac := t.ECNThresholdFrac
+			if frac == 0 {
+				frac = 0.72
+			}
+			bdp := float64(8*t.LinkDelay.Seconds()) * t.LinkBps / 8
+			t.ECNThresholdBytes = int(frac * bdp)
+		} else {
+			t.ECNThresholdBytes = 65 * pkt.MTU
+		}
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Duration == 0 {
+		s.Duration = 40 * sim.Millisecond
+	}
+	if s.Warmup == 0 && s.gatingIncast() >= 0 {
+		s.Warmup = 2 * sim.Millisecond
+	}
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if w.PktSize == 0 {
+			w.PktSize = 1000
+		}
+		if w.Kind == WLIncast && w.Fanout == 0 {
+			w.Fanout = s.Topology.NumHosts() - 1
+		}
+	}
+	return s
+}
+
+// gatingIncast returns the index of the workload that gates the run (the
+// first incast with a query budget), or -1.
+func (s Spec) gatingIncast() int {
+	for i, w := range s.Workloads {
+		if w.Kind == WLIncast && w.Queries > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Raw reports whether the spec is a raw-injection scenario (all
+// workloads are cbr/burst kinds).
+func (s Spec) Raw() bool {
+	if len(s.Workloads) == 0 {
+		return false
+	}
+	for _, w := range s.Workloads {
+		if !w.raw() {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate rejects specs the builder cannot assemble.
+func (s Spec) Validate() error {
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("scenario %q: no workloads", s.Name)
+	}
+	if _, err := s.Topology.schedKind(); err != nil {
+		return err
+	}
+	if _, _, err := s.Policy.Build(s.Topology.Classes); err != nil {
+		return err
+	}
+	raws := 0
+	for _, w := range s.Workloads {
+		if w.raw() {
+			raws++
+		}
+		switch w.Kind {
+		case WLBackground, WLPermutation, WLAllToAll, WLAllReduce:
+			if w.Load <= 0 {
+				return fmt.Errorf("scenario %q: %s needs Load > 0", s.Name, w.Kind)
+			}
+			if w.Kind != WLBackground && w.FlowSize <= 0 {
+				return fmt.Errorf("scenario %q: %s needs FlowSize > 0", s.Name, w.Kind)
+			}
+		case WLIncast:
+			if w.QuerySize <= 0 {
+				return fmt.Errorf("scenario %q: incast needs QuerySize > 0", s.Name)
+			}
+		case WLLongLived:
+			if w.Count <= 0 {
+				return fmt.Errorf("scenario %q: longlived needs Count > 0", s.Name)
+			}
+		case WLCBR, WLBurst:
+			if w.RateBps <= 0 {
+				return fmt.Errorf("scenario %q: %s needs RateBps > 0", s.Name, w.Kind)
+			}
+		default:
+			return fmt.Errorf("scenario %q: unknown workload kind %q", s.Name, w.Kind)
+		}
+		if _, err := distFor(w); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if _, err := ccFor(w); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if raws > 0 && raws != len(s.Workloads) {
+		return fmt.Errorf("scenario %q: raw (cbr/burst) and transport workloads cannot mix", s.Name)
+	}
+	if raws > 0 && s.Topology.Kind != SingleSwitch {
+		return fmt.Errorf("scenario %q: raw injection needs a single-switch topology", s.Name)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package switchsim
+
+import (
+	"testing"
+
+	"occamy/internal/core"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+)
+
+// TestHeadDropSurvivesRecyclingHook: a DropHook that returns expelled
+// packets to a pkt.Pool zeroes them in place; HeadDrop must still report
+// the true packet size (the expulsion engine's ExpelledBytes accounting
+// depends on it).
+func TestHeadDropSurvivesRecyclingHook(t *testing.T) {
+	eng := sim.NewEngine()
+	occ := core.Config{Alpha: 8}
+	sw := New("hd", eng, Config{
+		Ports: 2, ClassesPerPort: 1, BufferBytes: 64_000,
+		Policy: core.New(occ), Occamy: &occ,
+	})
+	for i := 0; i < 2; i++ {
+		sw.AttachPort(i, 1e9, 0, func(*pkt.Packet) {})
+	}
+	sw.SetRouter(func(p *pkt.Packet) int { return int(p.Dst) })
+
+	pool := pkt.NewPool()
+	sw.DropHook = func(p *pkt.Packet, q int, r DropReason) { pool.Put(p) }
+
+	const size = 1000
+	for i := 0; i < 10; i++ {
+		sw.Receive(&pkt.Packet{ID: uint64(i + 1), Dst: 0, Size: size})
+	}
+	bytes, cells, ok := sw.HeadDrop(0)
+	if !ok {
+		t.Fatal("HeadDrop failed on a backlogged queue")
+	}
+	if bytes != size {
+		t.Fatalf("HeadDrop reported %d bytes, want %d (packet recycled before the size was read?)", bytes, size)
+	}
+	if want := sw.Pool().CellsFor(size); cells != want {
+		t.Fatalf("HeadDrop reported %d cells, want %d", cells, want)
+	}
+}

@@ -238,8 +238,24 @@ func (s *Switch) Stats() Stats { return s.stats }
 // Pool exposes the cell pool (tests assert on its meters).
 func (s *Switch) Pool() *cellmem.Pool { return s.pool }
 
+// BufferedPackets returns the number of packets currently buffered across
+// all queues. Together with Stats it closes the packet-accounting books:
+// RxPackets == TxPackets + Drops() + DropsExpelled + BufferedPackets()
+// must hold at any instant (the scenario smoke tests assert it).
+func (s *Switch) BufferedPackets() int {
+	n := 0
+	for _, cq := range s.flat {
+		n += cq.meta.len()
+	}
+	return n
+}
+
 // Expulsion returns the Occamy engine, or nil.
 func (s *Switch) Expulsion() *core.Engine { return s.occ }
+
+// Policy returns the installed admission policy (scenario assembly wires
+// clock-dependent policies like EDT/TDT through it after construction).
+func (s *Switch) Policy() bm.Policy { return s.policy }
 
 // qindex flattens (port, class) to the global queue index.
 func (s *Switch) qindex(portID, class int) int {
@@ -296,18 +312,21 @@ func (s *Switch) HeadDrop(q int) (int, int, bool) {
 		return 0, 0, false
 	}
 	p := cq.meta.pop()
-	cells := s.pool.CellsFor(p.Size)
+	// Capture before the hook: a DropHook may recycle p into a pkt.Pool,
+	// which zeroes it in place.
+	size := p.Size
+	cells := s.pool.CellsFor(size)
 	n, id, ok := cq.cells.HeadDrop()
-	if !ok || id != p.ID || n != p.Size {
-		panic(fmt.Sprintf("switchsim: PD/meta desync on head-drop: got (%d,%d), want (%d,%d)", n, id, p.Size, p.ID))
+	if !ok || id != p.ID || n != size {
+		panic(fmt.Sprintf("switchsim: PD/meta desync on head-drop: got (%d,%d), want (%d,%d)", n, id, size, p.ID))
 	}
-	s.totalBytes -= p.Size
+	s.totalBytes -= size
 	s.stats.DropsExpelled++
 	s.memBW.add(s.eng.Now(), cells) // pointer-path bandwidth only
 	if s.DropHook != nil {
 		s.DropHook(p, q, DropExpelled)
 	}
-	return p.Size, cells, true
+	return size, cells, true
 }
 
 // Now implements core.TM.

@@ -56,6 +56,24 @@ func WebSearch() *CDF {
 	})
 }
 
+// CacheFollower is the cache-follower flow-size distribution measured in
+// Facebook's datacenters (Roy et al., SIGCOMM'15, as redrawn by the ABM
+// and Homa evaluations): dominated by sub-MTU object reads with a thin
+// tail into the hundreds of kilobytes. Mixed with WebSearch it produces
+// the bimodal "mixed load" scenarios the paper does not cover.
+func CacheFollower() *CDF {
+	return NewCDF([]CDFPoint{
+		{0, 0},
+		{300, 0.30},
+		{600, 0.50},
+		{1_000, 0.70},
+		{2_000, 0.80},
+		{5_000, 0.90},
+		{50_000, 0.97},
+		{500_000, 1.00},
+	})
+}
+
 // Uniform returns a degenerate distribution of one fixed size.
 func Uniform(size int64) *CDF {
 	return NewCDF([]CDFPoint{{float64(size), 0}, {float64(size), 1}})

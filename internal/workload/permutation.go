@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"occamy/internal/metrics"
+	"occamy/internal/netsim"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+	"occamy/internal/transport"
+)
+
+// Permutation generates the classic permutation-traffic stress pattern:
+// every host sends FlowSize bytes to the host Stride positions ahead
+// (mod N), in rounds spaced so the average per-host offered load matches
+// Load. Unlike the incast and background patterns there is no fan-in at
+// all — each destination receives exactly one flow per round — so
+// permutation isolates fabric/scheduling effects from admission-control
+// effects, and at loads near 1.0 it keeps every access link saturated.
+type Permutation struct {
+	Net      *netsim.Network
+	Hosts    []pkt.NodeID
+	FlowSize int64
+	Load     float64
+	LinkBps  float64
+	// Stride is the fixed src→dst offset; 0 defaults to 1. RotateStride
+	// advances the stride every round (1, 2, ... N−1, 1, ...) so the run
+	// exercises every permutation class instead of one fixed matching.
+	Stride       int
+	RotateStride bool
+
+	Priority int
+	ECN      bool
+	NewCC    func(mss, segs int) transport.CC
+	Opts     transport.Options
+
+	Collector  *metrics.Collector
+	OneWayBase sim.Duration
+
+	stopped bool
+	rounds  int64
+}
+
+// RoundInterval returns the spacing between round starts that hits the
+// target load: each host sends exactly FlowSize bytes per round.
+func (g *Permutation) RoundInterval() sim.Duration {
+	perHost := float64(g.FlowSize) * 8
+	return sim.Duration(perHost / (g.Load * g.LinkBps) * float64(sim.Second))
+}
+
+// Start launches rounds in [from, until).
+func (g *Permutation) Start(from, until sim.Time) {
+	if g.Load <= 0 || len(g.Hosts) < 2 {
+		panic("workload: Permutation needs Load > 0 and >= 2 hosts")
+	}
+	interval := g.RoundInterval()
+	var schedule func(at sim.Time)
+	schedule = func(at sim.Time) {
+		if at > until || g.stopped {
+			return
+		}
+		g.Net.Eng.At(at, func() {
+			g.round()
+			schedule(at + interval)
+		})
+	}
+	schedule(from)
+}
+
+// Stop halts new rounds.
+func (g *Permutation) Stop() { g.stopped = true }
+
+// Rounds returns the number of rounds launched.
+func (g *Permutation) Rounds() int64 { return g.rounds }
+
+func (g *Permutation) stride() int {
+	n := len(g.Hosts)
+	s := g.Stride
+	if s <= 0 {
+		s = 1
+	}
+	if g.RotateStride {
+		s = int(g.rounds-1)%(n-1) + 1
+	}
+	return s % n
+}
+
+func (g *Permutation) round() {
+	g.rounds++
+	now := g.Net.Eng.Now()
+	n := len(g.Hosts)
+	stride := g.stride()
+	if stride == 0 {
+		stride = 1
+	}
+	ideal := IdealFCT(g.FlowSize, g.LinkBps, g.OneWayBase)
+	for i, src := range g.Hosts {
+		dst := g.Hosts[(i+stride)%n]
+		if src == dst {
+			continue
+		}
+		size := g.FlowSize
+		g.Net.StartFlow(now, src, dst, size, netsim.FlowOptions{
+			Priority:  g.Priority,
+			ECN:       g.ECN,
+			NewCC:     g.NewCC,
+			Transport: g.Opts,
+			OnComplete: func(fct sim.Duration) {
+				if g.Collector != nil {
+					g.Collector.Add(size, fct, ideal)
+				}
+			},
+		})
+	}
+}

@@ -23,6 +23,29 @@
 // See examples/ for runnable end-to-end scenarios and
 // internal/experiments for the per-figure reproduction harnesses.
 //
+// # Declarative scenarios
+//
+// Hand-wiring topology + transport + workload is rarely necessary: a
+// scenario is a ~20-line declarative ScenarioSpec — topology, BM policy,
+// workload mix, duration, seed, metric selection — that RunScenario
+// assembles and executes:
+//
+//	res, err := occamy.RunScenario(occamy.ScenarioSpec{
+//		Name:     "demo",
+//		Topology: occamy.ScenarioTopology{Kind: occamy.TopoSingleSwitch, Hosts: 8},
+//		Policy:   occamy.ScenarioPolicy{Kind: "occamy", Alpha: 8},
+//		Workloads: []occamy.ScenarioWorkload{
+//			{Kind: "background", Load: 0.6},
+//			{Kind: "incast", Client: 0, QuerySize: 300_000, Queries: 20},
+//		},
+//	})
+//
+// A catalog of registered scenarios — the ported examples/figures plus
+// at-scale workloads beyond the paper — is listed by ScenarioNames and
+// runnable (with grid sweeps over any spec field) through
+// cmd/occamy-scenario. SCENARIOS.md documents the spec schema and how to
+// register new scenarios.
+//
 // The deeper layers remain importable for advanced use:
 //
 //   - occamy/internal/* is intentionally *not* reachable from other
@@ -32,10 +55,12 @@ package occamy
 import (
 	"occamy/internal/bm"
 	"occamy/internal/core"
+	"occamy/internal/experiments"
 	"occamy/internal/hw"
 	"occamy/internal/metrics"
 	"occamy/internal/netsim"
 	"occamy/internal/pkt"
+	"occamy/internal/scenario"
 	"occamy/internal/sim"
 	"occamy/internal/switchsim"
 	"occamy/internal/transport"
@@ -247,6 +272,61 @@ type AllReduce = workload.AllReduce
 // Collector accumulates FCT/QCT samples and computes the paper's
 // statistics (mean, p99, slowdowns).
 type Collector = metrics.Collector
+
+// --- Declarative scenarios ----------------------------------------------------
+
+// ScenarioSpec is a complete declarative scenario: topology, policy,
+// workload mix, duration, seed, and metric selection.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioTopology describes the network shape of a spec.
+type ScenarioTopology = scenario.Topology
+
+// ScenarioPolicy is the declarative BM selection of a spec ("dt", "abm",
+// "occamy", "pushout", ...).
+type ScenarioPolicy = scenario.Policy
+
+// ScenarioWorkload is one traffic component of a spec ("background",
+// "incast", "permutation", "alltoall", "allreduce", "longlived", "cbr",
+// "burst").
+type ScenarioWorkload = scenario.Workload
+
+// ScenarioResult carries one scenario run's metrics.
+type ScenarioResult = scenario.Result
+
+// Scenario is a registry entry: a spec plus optional scale hooks.
+type Scenario = scenario.Scenario
+
+// SweepAxis is one swept spec field (path + values) of a scenario grid.
+type SweepAxis = scenario.SweepAxis
+
+// Table is the aligned-text output table shared by scenarios and the
+// figure harnesses.
+type Table = experiments.Table
+
+// Topology kinds.
+const (
+	TopoSingleSwitch = scenario.SingleSwitch
+	TopoLeafSpine    = scenario.LeafSpine
+)
+
+// RunScenario assembles and executes one declarative scenario.
+func RunScenario(spec ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(spec) }
+
+// RunScenarioSweep cross-products the axes over the spec and runs the
+// grid concurrently with deterministic, input-ordered rows.
+func RunScenarioSweep(spec ScenarioSpec, axes []SweepAxis) (*Table, error) {
+	return scenario.RunSweep(spec, axes)
+}
+
+// RegisterScenario adds a scenario to the catalog (see SCENARIOS.md).
+func RegisterScenario(s Scenario) { scenario.Register(s) }
+
+// GetScenario looks a registered scenario up by name.
+func GetScenario(name string) (Scenario, bool) { return scenario.Get(name) }
+
+// ScenarioNames lists the registered catalog, sorted.
+func ScenarioNames() []string { return scenario.Names() }
 
 // --- Hardware models ----------------------------------------------------------
 
