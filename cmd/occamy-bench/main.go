@@ -6,11 +6,19 @@
 // BENCH_<date>.json containing every metric each benchmark reported
 // (ns/op, B/op, allocs/op, events/sec, ...).
 //
+// It can also gate on an earlier snapshot: -against diffs the fresh
+// ns/op numbers benchmark-by-benchmark against a committed baseline
+// file and exits non-zero when any common benchmark regressed by more
+// than -tol (CI runs the long macro benchmarks this way; at -benchtime
+// 1x their ns/op is a real multi-hundred-millisecond measurement, while
+// micro benchmarks need a real -benchtime to be comparable).
+//
 // Usage:
 //
 //	occamy-bench                          # full suite, 1x iterations, BENCH_<today>.json
 //	occamy-bench -bench 'Engine|Switch'   # only the core micro-benchmarks
 //	occamy-bench -benchtime 2s -o out.json
+//	occamy-bench -bench Fig -against BENCH_2026-07-30.json -tol 0.20
 package main
 
 import (
@@ -53,10 +61,14 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = one iteration smoke)")
 	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
 	pkgs := flag.String("pkgs", "./...", "packages to benchmark (comma-separated)")
+	count := flag.Int("count", 1, "go test -count: repetitions per benchmark; the snapshot keeps each benchmark's best (min ns/op) run")
+	against := flag.String("against", "", "baseline snapshot to diff ns/op against; exit non-zero on regression")
+	tol := flag.Float64("tol", 0.20, "allowed fractional ns/op regression vs -against (0.20 = +20%)")
 	flag.Parse()
 
 	pkgList := strings.Split(*pkgs, ",")
-	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
 	args = append(args, pkgList...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -92,7 +104,7 @@ func main() {
 		}
 		if r, ok := parseBenchLine(line); ok {
 			r.Package = pkg
-			snap.Results = append(snap.Results, r)
+			snap.Results = mergeResult(snap.Results, r)
 		}
 	}
 
@@ -111,6 +123,83 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(snap.Results), name)
+
+	if *against != "" {
+		if !compare(snap, *against, *tol) {
+			os.Exit(2)
+		}
+	}
+}
+
+// key identifies a benchmark across snapshots. The package field is
+// empty in non-verbose runs, so the name (unique across this repo's
+// suite) is the join key.
+func key(r Result) string { return r.Name }
+
+// mergeResult folds -count repetitions into one entry per benchmark,
+// keeping the fastest run: timing noise is strictly additive, so the
+// minimum ns/op is the most reproducible estimator across machines.
+func mergeResult(results []Result, r Result) []Result {
+	for i := range results {
+		if key(results[i]) != key(r) {
+			continue
+		}
+		if r.Metrics["ns/op"] < results[i].Metrics["ns/op"] {
+			results[i] = r
+		}
+		return results
+	}
+	return append(results, r)
+}
+
+// compare diffs ns/op against a baseline snapshot and reports whether
+// every common benchmark stayed within the regression tolerance.
+func compare(snap Snapshot, baselinePath string, tol float64) bool {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occamy-bench: reading baseline: %v\n", err)
+		return false
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "occamy-bench: parsing baseline %s: %v\n", baselinePath, err)
+		return false
+	}
+	old := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
+			old[key(r)] = ns
+		}
+	}
+	fmt.Printf("\nns/op vs %s (%s), tolerance +%.0f%%:\n", baselinePath, base.Date, tol*100)
+	var regressed []string
+	common := 0
+	for _, r := range snap.Results {
+		ns, ok := r.Metrics["ns/op"]
+		oldNS, okOld := old[key(r)]
+		if !ok || !okOld || ns <= 0 {
+			continue
+		}
+		common++
+		delta := ns/oldNS - 1
+		status := "ok"
+		if delta > tol {
+			status = "REGRESSED"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Printf("  %-44s %14.0f -> %14.0f  %+6.1f%%  %s\n", r.Name, oldNS, ns, delta*100, status)
+	}
+	if common == 0 {
+		fmt.Fprintf(os.Stderr, "occamy-bench: no common benchmarks between this run and %s\n", baselinePath)
+		return false
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "occamy-bench: %d benchmark(s) regressed more than %.0f%%: %s\n",
+			len(regressed), tol*100, strings.Join(regressed, ", "))
+		return false
+	}
+	fmt.Printf("all %d common benchmarks within tolerance\n", common)
+	return true
 }
 
 // parseBenchLine parses `BenchmarkX-8  100  123 ns/op  4 B/op  1 allocs/op

@@ -1,26 +1,40 @@
-// occamy-scenario lists and runs the declarative scenario catalog.
+// occamy-scenario lists, exports, and runs the declarative scenario
+// catalog — and any spec saved as a JSON file.
 //
 // Usage:
 //
 //	occamy-scenario list
 //	occamy-scenario run quickstart
 //	occamy-scenario run all -scale quick
+//	occamy-scenario run incast-storm-256 -scale paper
 //	occamy-scenario run leafspine-demo -sweep policy.kind=dt,abm,occamy,pushout
 //	occamy-scenario run burst-absorb -sweep policy.alpha=1,2,4 \
 //	    -sweep workloads[1].bytes=300000,500000,800000 -j 8
 //	occamy-scenario run incast-storm-256 -set workloads[1].fanout=512
+//	occamy-scenario run mixed-load-90 -deep -trace occ.csv
+//	occamy-scenario export incast-storm-256 > storm.json
+//	occamy-scenario run ./storm.json
+//
+// Scenarios are data: `export` dumps any catalog entry as an editable
+// JSON template, and `run` accepts a path to such a file (anything
+// containing a path separator or ending in .json) — no recompiling to
+// share a run. Every spec exists at three scales (quick|full|paper);
+// the -scale flag overrides the spec's own `scale` field.
 //
 // Sweeps cross-product every -sweep axis and fan the grid points across
 // a worker pool (-j, default GOMAXPROCS); tables are byte-identical at
-// any parallelism. -set applies a single value before running. Any spec
-// field is addressable: see SCENARIOS.md for the schema and
-// `occamy-scenario metrics` for the selectable columns.
+// any parallelism. -set applies a single value before running. -deep
+// appends the tail-quantile and per-switch breakdown tables to a single
+// run; -trace dumps the per-switch occupancy time series as CSV and
+// prints sparklines. Any spec field is addressable: see SCENARIOS.md
+// for the schema and `occamy-scenario metrics` for selectable columns.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"occamy/internal/experiments"
@@ -28,8 +42,13 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: occamy-scenario <list|metrics|run> [args]\n")
+	fmt.Fprintf(os.Stderr, "usage: occamy-scenario <list|metrics|run|export> [args]\n")
 	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }
 
 // multiFlag collects repeated -sweep/-set flags.
@@ -51,6 +70,8 @@ func main() {
 		}
 	case "run":
 		run(os.Args[2:])
+	case "export":
+		export(os.Args[2:])
 	default:
 		usage()
 	}
@@ -67,30 +88,82 @@ func list() {
 		}
 		fmt.Printf("  %-20s [%s]  %s\n", n, kind, sc.Spec.Title)
 	}
-	fmt.Println("\nrun one with: occamy-scenario run <name> [-scale quick|full] [-sweep path=v1,v2]...")
+	fmt.Println("\nrun one with: occamy-scenario run <name|file.json> [-scale quick|full|paper] [-sweep path=v1,v2]...")
+	fmt.Println("export one as an editable JSON template with: occamy-scenario export <name>")
+}
+
+// isSpecFile reports whether a run target names a spec file rather than
+// a catalog entry.
+func isSpecFile(name string) bool {
+	return strings.ContainsRune(name, os.PathSeparator) || strings.HasSuffix(name, ".json")
+}
+
+func export(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	scaleFlag := fs.String("scale", "full", "quick | full | paper (resolve the preset before exporting)")
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: occamy-scenario export <name> [-scale quick|full|paper]")
+		os.Exit(2)
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		os.Exit(2)
+	}
+	scale, err := scenario.ParseScale(*scaleFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sc, ok := scenario.Get(args[0])
+	if !ok {
+		fatalf("unknown scenario %q (try: occamy-scenario list)", args[0])
+	}
+	if sc.Tables != nil {
+		fatalf("%s is a figure harness with bespoke tables; it has no spec to export", args[0])
+	}
+	data, err := sc.SpecAt(scale).Marshal()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	os.Stdout.Write(data)
 }
 
 func run(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	scale := fs.String("scale", "full", "quick | full")
+	scaleFlag := fs.String("scale", "", "quick | full | paper (default: the spec's own scale)")
 	jobs := fs.Int("j", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+	deep := fs.Bool("deep", false, "also print tail-quantile and per-switch breakdown tables")
+	traceOut := fs.String("trace", "", "write per-switch occupancy time series to this CSV file and print sparklines")
 	var sweeps, sets multiFlag
 	fs.Var(&sweeps, "sweep", "grid axis: specfield=v1,v2,... (repeatable)")
 	fs.Var(&sets, "set", "single override: specfield=value (repeatable)")
 	if len(args) < 1 {
-		fmt.Fprintln(os.Stderr, "usage: occamy-scenario run <name|all> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: occamy-scenario run <name|all|file.json> [flags]")
 		os.Exit(2)
 	}
 	name := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		os.Exit(2)
 	}
-	quick := *scale == "quick"
-	if *scale != "quick" && *scale != "full" {
-		fmt.Fprintf(os.Stderr, "unknown scale %q (quick|full)\n", *scale)
-		os.Exit(2)
+	scale := scenario.ScaleFull
+	if *scaleFlag != "" {
+		var err error
+		if scale, err = scenario.ParseScale(*scaleFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	experiments.SetParallelism(*jobs)
+
+	if isSpecFile(name) {
+		spec, err := scenario.LoadSpec(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *scaleFlag != "" {
+			spec.Scale = scale
+		}
+		runSpec(spec.ApplyScale(), name, sweeps, sets, *deep, *traceOut)
+		return
+	}
 
 	names := []string{name}
 	if name == "all" {
@@ -103,31 +176,25 @@ func run(args []string) {
 	for _, n := range names {
 		sc, ok := scenario.Get(n)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown scenario %q (try: occamy-scenario list)\n", n)
-			os.Exit(2)
+			fatalf("unknown scenario %q (try: occamy-scenario list)", n)
 		}
-		start := time.Now()
-		tabs, err := runOne(sc, quick, sweeps, sets)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
-			os.Exit(1)
+		if sc.Tables != nil {
+			if len(sweeps) > 0 || len(sets) > 0 {
+				fatalf("%s: figure scenarios take no -sweep/-set (their harness fixes the grid)", n)
+			}
+			start := time.Now()
+			printTables(sc.Tables(scale))
+			fmt.Printf("(%s took %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+			continue
 		}
-		for _, tab := range tabs {
-			tab.Fprint(os.Stdout)
-			fmt.Println()
-		}
-		fmt.Printf("(%s took %v)\n\n", n, time.Since(start).Round(time.Millisecond))
+		runSpec(sc.SpecAt(scale), n, sweeps, sets, *deep, *traceOut)
 	}
 }
 
-func runOne(sc scenario.Scenario, quick bool, sweeps, sets []string) ([]*experiments.Table, error) {
-	if sc.Tables != nil {
-		if len(sweeps) > 0 || len(sets) > 0 {
-			return nil, fmt.Errorf("figure scenarios take no -sweep/-set (their harness fixes the grid)")
-		}
-		return sc.RunTables(quick)
-	}
-	spec := sc.SpecAt(quick)
+// runSpec applies overrides and executes one spec: a single run (with
+// optional deep/trace output) or a sweep grid.
+func runSpec(spec scenario.Spec, name string, sweeps, sets []string, deep bool, traceOut string) {
+	start := time.Now()
 	// Deep-copy the slices -set may write through; the registered catalog
 	// entry must stay pristine.
 	spec.Workloads = append([]scenario.Workload(nil), spec.Workloads...)
@@ -135,33 +202,64 @@ func runOne(sc scenario.Scenario, quick bool, sweeps, sets []string) ([]*experim
 	for _, s := range sets {
 		ax, err := scenario.ParseSweep(s)
 		if err != nil {
-			return nil, err
+			fatalf("%s: %v", name, err)
 		}
 		if len(ax.Values) != 1 {
-			return nil, fmt.Errorf("-set %s: one value only (use -sweep for grids)", s)
+			fatalf("%s: -set %s: one value only (use -sweep for grids)", name, s)
 		}
 		if err := scenario.SetField(&spec, ax.Path, ax.Values[0]); err != nil {
-			return nil, err
+			fatalf("%s: %v", name, err)
 		}
 	}
-	if len(sweeps) == 0 {
-		r, err := scenario.Run(spec)
+	if len(sweeps) > 0 {
+		if deep || traceOut != "" {
+			fatalf("%s: -deep/-trace need a single run, not a sweep", name)
+		}
+		axes := make([]scenario.SweepAxis, len(sweeps))
+		for i, s := range sweeps {
+			ax, err := scenario.ParseSweep(s)
+			if err != nil {
+				fatalf("%s: %v", name, err)
+			}
+			axes[i] = ax
+		}
+		tab, err := scenario.RunSweep(spec, axes)
 		if err != nil {
-			return nil, err
+			fatalf("%s: %v", name, err)
 		}
-		return []*experiments.Table{r.Table()}, nil
+		printTables([]*scenario.Table{tab})
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return
 	}
-	axes := make([]scenario.SweepAxis, len(sweeps))
-	for i, s := range sweeps {
-		ax, err := scenario.ParseSweep(s)
-		if err != nil {
-			return nil, err
-		}
-		axes[i] = ax
-	}
-	tab, err := scenario.RunSweep(spec, axes)
+	res, err := scenario.Run(spec)
 	if err != nil {
-		return nil, err
+		fatalf("%s: %v", name, err)
 	}
-	return []*experiments.Table{tab}, nil
+	tabs := []*scenario.Table{res.Table()}
+	if deep {
+		tabs = append(tabs, res.TailTable(), res.PerSwitchTable())
+	}
+	printTables(tabs)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if err := res.WriteTraceCSV(f); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("occupancy trace (%d samples every %v, CSV in %s):\n%s\n",
+			len(res.Telemetry[0].Series), res.SampleEvery, traceOut, res.TracePlot(72))
+	}
+	fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func printTables(tabs []*scenario.Table) {
+	for _, tab := range tabs {
+		tab.Fprint(os.Stdout)
+		fmt.Println()
+	}
 }

@@ -42,6 +42,14 @@ type Result struct {
 	Occupancy []int
 	// Total aggregates PerSwitch.
 	Total switchsim.Stats
+	// Telemetry is the recorded occupancy dynamics, one entry per switch
+	// in PerSwitch order (see telemetry.go).
+	Telemetry []SwitchTelemetry
+	// SampleEvery is the occupancy sampling period of the run;
+	// SampleTimes the actual sample timestamps (shared by every switch —
+	// one aligned sampler drives all recorders).
+	SampleEvery sim.Duration
+	SampleTimes []sim.Time
 	// MaxOccupancy is the peak buffered byte count across switches
 	// (periodic sampling); BufferBytes the per-switch capacity.
 	MaxOccupancy int
@@ -110,9 +118,13 @@ func wireClocks(sw *switchsim.Switch, eng *sim.Engine) *sim.Ticker {
 	return nil
 }
 
-// Run assembles and executes one scenario.
+// Run assembles and executes one scenario. The spec's Scale preset is
+// applied first (quick/paper transform), then defaults and validation.
 func Run(spec Spec) (*Result, error) {
-	spec = spec.WithDefaults()
+	if _, err := ParseScale(string(spec.Scale)); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	spec = spec.ApplyScale().WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,14 +243,18 @@ func phases(w Workload, horizon sim.Duration) [][2]sim.Time {
 }
 
 // startRounds launches one generator instance per on-phase. mk builds a
-// fresh instance returning its Start and a rounds counter.
+// fresh instance returning its Start and a rounds counter. The phase
+// windows are half-open [start, end) while the generators' until is
+// inclusive, so the end is pulled back one virtual nanosecond — without
+// it a round interval dividing OnTime exactly would fire a round inside
+// the off window.
 func startRounds(w Workload, horizon sim.Duration,
 	mk func() (start func(from, until sim.Time), stop func(), rounds func() int64)) startStop {
 	var stops []func()
 	var counts []func() int64
 	for _, ph := range phases(w, horizon) {
 		start, stop, rounds := mk()
-		start(ph[0], ph[1])
+		start(ph[0], ph[1]-1)
 		stops = append(stops, stop)
 		counts = append(counts, rounds)
 	}
@@ -403,12 +419,14 @@ func runTransport(spec Spec) (*Result, error) {
 		}
 	}
 
-	// Peak-occupancy sampling across all switches.
-	sampler := net.Eng.Every(0, samplePeriod(horizon), func() {
-		for _, sw := range net.Switches {
-			if occ := sw.Occupancy(); occ > res.MaxOccupancy {
-				res.MaxOccupancy = occ
-			}
+	// Occupancy recording across all switches: one aligned sampler
+	// drives every recorder, so fabric traces share timestamps.
+	recs := newRecorders(net.Switches)
+	res.SampleEvery = samplePeriod(horizon)
+	sampler := net.Eng.Every(0, res.SampleEvery, func() {
+		now := net.Eng.Now()
+		for _, rec := range recs {
+			rec.Sample(now)
 		}
 	})
 
@@ -456,7 +474,7 @@ func runTransport(spec Spec) (*Result, error) {
 			res.Workloads[i].Done = running[i].done()
 		}
 	}
-	finishResult(res, net.Switches, net.Eng)
+	finishResult(res, net.Switches, recs, net.Eng)
 	return res, nil
 }
 
@@ -513,10 +531,10 @@ func runRaw(spec Spec) (*Result, error) {
 			in.Burst(sim.Time(w.At), w.Bytes, w.RateBps)
 		}
 	}
-	sampler := eng.Every(0, samplePeriod(horizon), func() {
-		if occ := sw.Occupancy(); occ > res.MaxOccupancy {
-			res.MaxOccupancy = occ
-		}
+	recs := newRecorders([]*switchsim.Switch{sw})
+	res.SampleEvery = samplePeriod(horizon)
+	sampler := eng.Every(0, res.SampleEvery, func() {
+		recs[0].Sample(eng.Now())
 	})
 
 	eng.RunUntil(sim.Time(horizon))
@@ -529,7 +547,7 @@ func runRaw(spec Spec) (*Result, error) {
 		res.Workloads[i].SentPackets = injectors[i].Sent
 		res.Workloads[i].SentBytes = injectors[i].Bytes
 	}
-	finishResult(res, []*switchsim.Switch{sw}, eng)
+	finishResult(res, []*switchsim.Switch{sw}, recs, eng)
 	return res, nil
 }
 
@@ -546,9 +564,18 @@ func samplePeriod(horizon sim.Duration) sim.Duration {
 	return p
 }
 
-// finishResult snapshots switch state into the result.
-func finishResult(res *Result, switches []*switchsim.Switch, eng *sim.Engine) {
-	for _, sw := range switches {
+// newRecorders attaches one occupancy recorder per switch.
+func newRecorders(switches []*switchsim.Switch) []*switchsim.Recorder {
+	recs := make([]*switchsim.Recorder, len(switches))
+	for i, sw := range switches {
+		recs[i] = switchsim.NewRecorder(sw)
+	}
+	return recs
+}
+
+// finishResult snapshots switch state and telemetry into the result.
+func finishResult(res *Result, switches []*switchsim.Switch, recs []*switchsim.Recorder, eng *sim.Engine) {
+	for i, sw := range switches {
 		st := sw.Stats()
 		res.PerSwitch = append(res.PerSwitch, st)
 		res.Buffered = append(res.Buffered, sw.BufferedPackets())
@@ -560,6 +587,13 @@ func finishResult(res *Result, switches []*switchsim.Switch, eng *sim.Engine) {
 		res.Total.DropsNoMemory += st.DropsNoMemory
 		res.Total.DropsExpelled += st.DropsExpelled
 		res.Total.ECNMarked += st.ECNMarked
+		res.Telemetry = append(res.Telemetry, newTelemetry(sw, recs[i]))
+		if peak := recs[i].Peak(); peak > res.MaxOccupancy {
+			res.MaxOccupancy = peak
+		}
+	}
+	if len(recs) > 0 {
+		res.SampleTimes = recs[0].Times
 	}
 	res.Events = eng.Processed()
 }

@@ -98,8 +98,8 @@ func init() {
 			Name:  "fig6-anomalies",
 			Title: "DT anomalies: incast vs competing traffic (figure harness)",
 		},
-		Tables: func(quick bool) []*experiments.Table {
-			if quick {
+		Tables: func(scale Scale) []*experiments.Table {
+			if scale == ScaleQuick {
 				return []*experiments.Table{experiments.Fig6Anomalies(3, []float64{1.5})}
 			}
 			return []*experiments.Table{experiments.Fig6Anomalies(10, nil)}
@@ -112,9 +112,9 @@ func init() {
 			Name:  "fig7-utilization",
 			Title: "buffer & memory-bandwidth utilization on drop (figure harness)",
 		},
-		Tables: func(quick bool) []*experiments.Table {
+		Tables: func(scale Scale) []*experiments.Table {
 			sc := experiments.QuickFabric()
-			if quick {
+			if scale == ScaleQuick {
 				sc.Queries = 3
 			}
 			a, b := experiments.Fig7Utilization(sc)
@@ -126,41 +126,62 @@ func init() {
 	// Far beyond the paper's incast degree 40: 256 synchronized response
 	// flows across 31 servers into one port, twice the buffer per query,
 	// over light background load.
-	Register(Scenario{Spec: Spec{
-		Name:  "incast-storm-256",
-		Title: "256-way incast storm into one port (32 hosts, 2x-buffer queries)",
-		Topology: Topology{
-			Kind: SingleSwitch, Hosts: 32, LinkBps: 10e9,
+	Register(Scenario{
+		Spec: Spec{
+			Name:  "incast-storm-256",
+			Title: "256-way incast storm into one port (32 hosts, 2x-buffer queries)",
+			Topology: Topology{
+				Kind: SingleSwitch, Hosts: 32, LinkBps: 10e9,
+			},
+			Policy: Policy{Kind: "occamy", Alpha: 8},
+			Workloads: []Workload{
+				{Kind: WLBackground, Load: 0.2},
+				{Kind: WLIncast, Client: 0, Fanout: 256, QuerySize: 3_400_000,
+					Queries: 15},
+			},
+			Duration: 400 * sim.Millisecond,
 		},
-		Policy: Policy{Kind: "occamy", Alpha: 8},
-		Workloads: []Workload{
-			{Kind: WLBackground, Load: 0.2},
-			{Kind: WLIncast, Client: 0, Fanout: 256, QuerySize: 3_400_000,
-				Queries: 15},
+		// Paper scale: enough storms for a stable p999 tail. Each query
+		// moves 3.4MB through one 10G port (~3ms unloaded), so 100
+		// queries need the multi-second horizon.
+		Paper: func(s Spec) Spec {
+			s.Workloads = append([]Workload(nil), s.Workloads...)
+			s.Workloads[1].Queries = 100
+			s.Duration = 4 * sim.Second
+			return s
 		},
-		Duration: 400 * sim.Millisecond,
-	}})
+	})
 
 	// --- New: mixed web-search + cache at 0.9 utilization -------------
 	// Two heavy-tailed distributions sharing the low-priority class at a
 	// combined 90% load while queries ride the high-priority class — the
 	// bimodal mix production fabrics actually carry.
-	Register(Scenario{Spec: Spec{
-		Name:  "mixed-load-90",
-		Title: "mixed websearch+cache background at 0.9 load + HP incast (DRR)",
-		Topology: Topology{
-			Kind: SingleSwitch, Hosts: 8, LinkBps: 10e9,
-			Classes: 2, Scheduler: "drr",
+	Register(Scenario{
+		Spec: Spec{
+			Name:  "mixed-load-90",
+			Title: "mixed websearch+cache background at 0.9 load + HP incast (DRR)",
+			Topology: Topology{
+				Kind: SingleSwitch, Hosts: 8, LinkBps: 10e9,
+				Classes: 2, Scheduler: "drr",
+			},
+			Policy: Policy{Kind: "occamy", Alpha: 8},
+			Workloads: []Workload{
+				{Kind: WLBackground, Label: "websearch", Load: 0.45, Priority: 1},
+				{Kind: WLBackground, Label: "cache", Dist: "cache", Load: 0.45, Priority: 1},
+				{Kind: WLIncast, Client: 0, QuerySize: 250_000, Priority: 0,
+					Queries: 15},
+			},
+			Duration: 80 * sim.Millisecond,
 		},
-		Policy: Policy{Kind: "occamy", Alpha: 8},
-		Workloads: []Workload{
-			{Kind: WLBackground, Label: "websearch", Load: 0.45, Priority: 1},
-			{Kind: WLBackground, Label: "cache", Dist: "cache", Load: 0.45, Priority: 1},
-			{Kind: WLIncast, Client: 0, QuerySize: 250_000, Priority: 0,
-				Queries: 15},
+		// Paper scale: the heavy-tailed mix needs a long horizon before
+		// the large-flow buckets of the tail table fill in.
+		Paper: func(s Spec) Spec {
+			s.Workloads = append([]Workload(nil), s.Workloads...)
+			s.Workloads[2].Queries = 200
+			s.Duration = 800 * sim.Millisecond
+			return s
 		},
-		Duration: 80 * sim.Millisecond,
-	}})
+	})
 
 	// --- New: degraded-port leaf-spine -------------------------------
 	// Two hosts on different leaves run at quarter/half rate (flapping

@@ -13,6 +13,10 @@ import (
 // a default set from the workload mix. Each column is a pure function of
 // the Result, so sweeps produce one comparable row per grid point.
 
+// Table is the aligned-text output table shared with the figure
+// harnesses.
+type Table = experiments.Table
+
 // incastStats returns the gating (or first) incast workload's stats.
 func (r *Result) incastStats() *WorkloadStats {
 	for i := range r.Workloads {
@@ -113,6 +117,54 @@ var columnFuncs = map[string]func(*Result) string{
 		}
 		return "-"
 	},
+	"qct_p50_ms": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return experiments.Ms(q.Col.FCTQuantile(0.50))
+		}
+		return "-"
+	},
+	"qct_p999_ms": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return experiments.Ms(q.Col.FCTQuantile(0.999))
+		}
+		return "-"
+	},
+	"qct_p999_slow": func(r *Result) string {
+		if q := r.incastStats(); q != nil {
+			return experiments.F(q.Col.SlowdownQuantile(0.999))
+		}
+		return "-"
+	},
+	"bg_p50_fct_ms": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.Ms(b.Col.FCTQuantile(0.50))
+		}
+		return "-"
+	},
+	"bg_p999_fct_ms": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.Ms(b.Col.FCTQuantile(0.999))
+		}
+		return "-"
+	},
+	"bg_p99_slow": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.F(b.Col.SlowdownQuantile(0.99))
+		}
+		return "-"
+	},
+	"bg_p999_slow": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.F(b.Col.SlowdownQuantile(0.999))
+		}
+		return "-"
+	},
+	"small_bg_p999_slow": func(r *Result) string {
+		if b := r.loadStats(); b != nil {
+			return experiments.F(b.Col.Small(100_000).SlowdownQuantile(0.999))
+		}
+		return "-"
+	},
 	"delivered_mb": func(r *Result) string { return experiments.F(float64(r.Total.TxBytes) / 1e6) },
 	"drops":        func(r *Result) string { return fmt.Sprint(r.Total.Drops()) },
 	"expelled":     func(r *Result) string { return fmt.Sprint(r.Total.DropsExpelled) },
@@ -124,6 +176,31 @@ var columnFuncs = map[string]func(*Result) string{
 		}
 		return experiments.F(100 * float64(r.MaxOccupancy) / float64(r.BufferBytes))
 	},
+	"mean_occ_pct": func(r *Result) string {
+		if len(r.Telemetry) == 0 {
+			return "-"
+		}
+		sum := 0.0
+		for i := range r.Telemetry {
+			sum += r.Telemetry[i].MeanOcc
+		}
+		return r.occPct(sum / float64(len(r.Telemetry)))
+	},
+	"hot_port": func(r *Result) string {
+		sw, port, _ := r.HottestPort()
+		if sw < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%s:%d", r.Telemetry[sw].Name, port)
+	},
+	"hot_port_peak_pct": func(r *Result) string {
+		sw, _, peak := r.HottestPort()
+		if sw < 0 {
+			return "-"
+		}
+		return r.occPct(float64(peak))
+	},
+	"switches": func(r *Result) string { return fmt.Sprint(len(r.PerSwitch)) },
 }
 
 // MetricNames returns every selectable column, sorted.

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden deep-telemetry tables
+//
+// The tail-quantile and per-switch breakdowns are byte-identity anchors
+// for the telemetry layer, the same way the Fig 6/7 goldens anchor the
+// experiments harnesses: their quick-scale output for two at-scale
+// catalog entries is committed under testdata/ and diffed exactly. Any
+// change that perturbs sampling instants, quantile math, per-port
+// accounting, or cell formatting shows up here first.
+//
+// Regenerate (after an *intentional* behavior change) with:
+//
+//	GOLDEN_UPDATE=1 go test ./internal/scenario -run TestGolden
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with GOLDEN_UPDATE=1 to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from the committed golden table.\n--- want\n%s--- got\n%s", name, want, got)
+	}
+}
+
+func goldenDeepTables(t *testing.T, name string) string {
+	t.Helper()
+	sc, ok := Get(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	res, err := Run(sc.SpecAt(ScaleQuick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return render([]*Table{res.Table(), res.TailTable(), res.PerSwitchTable()})
+}
+
+func TestGoldenIncastStorm(t *testing.T) {
+	checkGolden(t, "incast_storm_256_quick_golden.txt", goldenDeepTables(t, "incast-storm-256"))
+}
+
+func TestGoldenMixedLoad(t *testing.T) {
+	checkGolden(t, "mixed_load_90_quick_golden.txt", goldenDeepTables(t, "mixed-load-90"))
+}

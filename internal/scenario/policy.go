@@ -12,16 +12,17 @@ import (
 type Policy struct {
 	// Kind selects the scheme: "dt", "abm", "edt", "tdt", "cs", "st",
 	// "occamy" (default), "occamy-ld", "pushout", "pot", "qpo".
-	Kind string
+	Kind string `json:"kind"`
 	// Alpha is the DT-family control parameter (default per kind).
-	Alpha float64
+	Alpha float64 `json:"alpha,omitempty"`
 	// AlphaHP/AlphaLP override α for priority class 0 / classes ≥1 when
 	// non-zero (the buffer-choking configurations).
-	AlphaHP, AlphaLP float64
+	AlphaHP float64 `json:"alpha_hp,omitempty"`
+	AlphaLP float64 `json:"alpha_lp,omitempty"`
 	// Limit is the static threshold in bytes ("st" only).
-	Limit int
+	Limit int `json:"limit,omitempty"`
 	// Fraction is the pushout-eligibility fraction ("pot" only).
-	Fraction float64
+	Fraction float64 `json:"fraction,omitempty"`
 }
 
 // Label names the policy in tables, e.g. "occamy(a=8)".

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"occamy/internal/experiments"
-	"occamy/internal/sim"
 )
 
 // Scenario is a registry entry: a spec plus optional scale/runner hooks.
@@ -16,11 +15,15 @@ type Scenario struct {
 	// quick`). Nil applies the generic shrink (fewer queries, shorter
 	// horizon).
 	Quick func(Spec) Spec
+	// Paper grows the spec to evaluation scale (`run -scale paper`).
+	// Nil applies the generic growth (≥50 gating queries, ≥200ms
+	// horizon).
+	Paper func(Spec) Spec
 	// Tables, when set, replaces the generic builder: the ported figure
 	// harnesses keep their bespoke multi-run tables (and byte-identical
 	// output, pinned by the golden tests). Tables-backed entries cannot
-	// be swept.
-	Tables func(quick bool) []*experiments.Table
+	// be swept or exported to JSON.
+	Tables func(scale Scale) []*experiments.Table
 }
 
 // Name returns the registry key.
@@ -70,47 +73,37 @@ func Names() []string {
 	return names
 }
 
-// QuickSpec is the generic test-scale shrink: at most 3 gating queries,
-// a 10ms horizon, and a 1ms warmup. Raw specs (already µs-scale) keep
-// their timing.
-func QuickSpec(s Spec) Spec {
-	if s.Raw() {
-		return s
-	}
-	s.Workloads = append([]Workload(nil), s.Workloads...)
-	for i := range s.Workloads {
-		if s.Workloads[i].Queries > 3 {
-			s.Workloads[i].Queries = 3
+// SpecAt returns the scenario's spec at the given scale, preferring the
+// per-scenario hooks over the generic transforms. The returned spec has
+// Scale resolved to "" so Run does not re-apply a preset.
+func (s Scenario) SpecAt(scale Scale) Spec {
+	switch scale {
+	case ScaleQuick:
+		if s.Quick != nil {
+			sp := s.Quick(s.Spec)
+			sp.Scale = ""
+			return sp
 		}
+		return QuickSpec(s.Spec)
+	case ScalePaper:
+		if s.Paper != nil {
+			sp := s.Paper(s.Spec)
+			sp.Scale = ""
+			return sp
+		}
+		return PaperSpec(s.Spec)
 	}
-	if s.Duration > 10*sim.Millisecond {
-		s.Duration = 10 * sim.Millisecond
-	}
-	if s.Warmup > sim.Millisecond {
-		s.Warmup = sim.Millisecond
-	}
-	return s
-}
-
-// SpecAt returns the scenario's spec at the given scale.
-func (s Scenario) SpecAt(quick bool) Spec {
-	if !quick {
-		return s.Spec
-	}
-	if s.Quick != nil {
-		return s.Quick(s.Spec)
-	}
-	return QuickSpec(s.Spec)
+	return s.Spec
 }
 
 // RunTables executes the scenario at the given scale and renders its
 // output tables — the generic one-row summary, or the figure harness's
 // bespoke tables.
-func (s Scenario) RunTables(quick bool) ([]*experiments.Table, error) {
+func (s Scenario) RunTables(scale Scale) ([]*experiments.Table, error) {
 	if s.Tables != nil {
-		return s.Tables(quick), nil
+		return s.Tables(scale), nil
 	}
-	r, err := Run(s.SpecAt(quick))
+	r, err := Run(s.SpecAt(scale))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"fmt"
+
+	"occamy/internal/sim"
+)
+
+// Scale is a run-size preset. Every runnable spec exists at three
+// scales: "quick" (seconds of wall clock: smoke tests, CI), "full" (the
+// spec as written), and "paper" (evaluation scale: enough queries for
+// stable tails). The preset travels with the spec — a JSON file can pin
+// its own scale — and Run applies it, so there is no separate scale
+// plumbing between the CLI and the builder.
+type Scale string
+
+// The three presets. The empty string means ScaleFull.
+const (
+	ScaleQuick Scale = "quick"
+	ScaleFull  Scale = "full"
+	ScalePaper Scale = "paper"
+)
+
+// ParseScale validates a scale name ("" reads as full).
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case "", ScaleFull:
+		return ScaleFull, nil
+	case ScaleQuick:
+		return ScaleQuick, nil
+	case ScalePaper:
+		return ScalePaper, nil
+	}
+	return "", fmt.Errorf("unknown scale %q (quick|full|paper)", s)
+}
+
+// QuickSpec is the generic test-scale shrink: at most 3 gating queries,
+// a 10ms horizon, and a 1ms warmup. Raw specs (already µs-scale) keep
+// their timing.
+func QuickSpec(s Spec) Spec {
+	s.Scale = ""
+	if s.Raw() {
+		return s
+	}
+	s.Workloads = append([]Workload(nil), s.Workloads...)
+	for i := range s.Workloads {
+		if s.Workloads[i].Queries > 3 {
+			s.Workloads[i].Queries = 3
+		}
+	}
+	if s.Duration > 10*sim.Millisecond {
+		s.Duration = 10 * sim.Millisecond
+	}
+	if s.Warmup > sim.Millisecond {
+		s.Warmup = sim.Millisecond
+	}
+	return s
+}
+
+// PaperSpec is the generic evaluation-scale growth: at least 50 gating
+// queries (tail percentiles need samples) and a horizon of at least
+// 200ms. Raw specs keep their timing; per-scenario Paper hooks override
+// this for workloads with their own notion of "paper scale".
+func PaperSpec(s Spec) Spec {
+	s.Scale = ""
+	if s.Raw() {
+		return s
+	}
+	s.Workloads = append([]Workload(nil), s.Workloads...)
+	for i := range s.Workloads {
+		if q := s.Workloads[i].Queries; q > 0 && q < 50 {
+			s.Workloads[i].Queries = 50
+		}
+	}
+	if s.Duration < 200*sim.Millisecond {
+		s.Duration = 200 * sim.Millisecond
+	}
+	return s
+}
+
+// ApplyScale resolves the spec's own Scale field into the generic
+// preset transform. Registered scenarios go through Scenario.SpecAt
+// instead, which prefers their per-scenario hooks.
+func (s Spec) ApplyScale() Spec {
+	switch s.Scale {
+	case ScaleQuick:
+		return QuickSpec(s)
+	case ScalePaper:
+		return PaperSpec(s)
+	}
+	s.Scale = ""
+	return s
+}

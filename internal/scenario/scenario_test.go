@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"occamy/internal/experiments"
+	"occamy/internal/sim"
 )
 
 func render(tabs []*experiments.Table) string {
@@ -33,7 +34,7 @@ func TestCatalogSmoke(t *testing.T) {
 				t.Fatalf("Get(%q) failed", name)
 			}
 			if sc.Tables != nil {
-				tabs := sc.Tables(true)
+				tabs := sc.Tables(ScaleQuick)
 				if len(tabs) == 0 {
 					t.Fatal("figure scenario produced no tables")
 				}
@@ -44,7 +45,7 @@ func TestCatalogSmoke(t *testing.T) {
 				}
 				return
 			}
-			spec := sc.SpecAt(true)
+			spec := sc.SpecAt(ScaleQuick)
 			res, err := Run(spec)
 			if err != nil {
 				t.Fatal(err)
@@ -76,7 +77,7 @@ func TestCatalogSmoke(t *testing.T) {
 func TestScenarioDeterministic(t *testing.T) {
 	sc, _ := Get("leafspine-demo")
 	run := func() string {
-		tabs, err := sc.RunTables(true)
+		tabs, err := sc.RunTables(ScaleQuick)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,12 +96,12 @@ func TestSweepAcrossPolicies(t *testing.T) {
 	axes := []SweepAxis{{Path: "policy.kind", Values: []string{"dt", "occamy"}}}
 	defer experiments.SetParallelism(0)
 	experiments.SetParallelism(1)
-	serialTab, err := RunSweep(sc.SpecAt(true), axes)
+	serialTab, err := RunSweep(sc.SpecAt(ScaleQuick), axes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	experiments.SetParallelism(4)
-	parTab, err := RunSweep(sc.SpecAt(true), axes)
+	parTab, err := RunSweep(sc.SpecAt(ScaleQuick), axes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,6 +245,29 @@ func TestHalfSpecifiedPrioAlpha(t *testing.T) {
 	}
 }
 
+// On/off phase windows are half-open: a round interval that divides
+// OnTime exactly must not fire a round inside the off window (the
+// generators' inclusive `until` is pulled back 1ns by startRounds).
+func TestPhaseBoundaryExcluded(t *testing.T) {
+	// FlowSize 1MB at load 0.8 on 10G → round interval exactly 1ms.
+	spec := Spec{
+		Name:     "phase-edge",
+		Topology: Topology{Kind: SingleSwitch, Hosts: 4, LinkBps: 10e9},
+		Policy:   Policy{Kind: "dt", Alpha: 1},
+		Workloads: []Workload{{
+			Kind: WLPermutation, FlowSize: 1_000_000, Load: 0.8,
+			OnTime: 2 * sim.Millisecond, OffTime: 8 * sim.Millisecond,
+		}},
+		Duration: 10 * sim.Millisecond,
+	}
+	res := MustRun(spec)
+	// One phase [0, 2ms): rounds at 0 and 1ms only — a third at exactly
+	// 2ms would sit in the off window.
+	if got := res.Workloads[0].Launched; got != 2 {
+		t.Fatalf("launched %d rounds in a 2ms on-phase with a 1ms interval, want 2", got)
+	}
+}
+
 // probeState is an empty-buffer bm.State where queue q has priority q.
 type probeState struct{ cap, n int }
 
@@ -280,6 +304,33 @@ func TestValidateRejectsNonsense(t *testing.T) {
 			s.Workloads = []Workload{{Kind: WLCBR, RateBps: 1e9}, {Kind: WLBackground, Load: 0.5}}
 		}},
 		{"zero load", func(s *Spec) { s.Workloads = []Workload{{Kind: WLBackground}} }},
+		{"incast client out of range", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLIncast, QuerySize: 1000, Client: 100}}
+		}},
+		{"incast client below -1", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLIncast, QuerySize: 1000, Client: -2}}
+		}},
+		{"longlived client out of range", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLLongLived, Count: 1, Client: 9}}
+		}},
+		{"raw dst_port out of range", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLCBR, RateBps: 1e9, DstPort: 8}}
+		}},
+		{"negative hosts", func(s *Spec) { s.Topology.Hosts = -4 }},
+		{"negative duration", func(s *Spec) { s.Duration = -sim.Millisecond }},
+		{"negative warmup", func(s *Spec) { s.Warmup = -sim.Millisecond }},
+		{"negative burst At", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLBurst, RateBps: 1e9, Bytes: 1000, At: -sim.Millisecond}}
+		}},
+		{"negative incast fanout", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLIncast, QuerySize: 1000, Fanout: -5}}
+		}},
+		{"negative incast interval", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLIncast, QuerySize: 1000, Interval: -10 * sim.Microsecond}}
+		}},
+		{"negative priority", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLBackground, Load: 0.5, Priority: -1}}
+		}},
 	} {
 		spec := Spec{
 			Name:      "v",

@@ -14,6 +14,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"occamy/internal/pkt"
@@ -39,47 +40,74 @@ func (k TopoKind) String() string {
 	return "single-switch"
 }
 
-// Topology describes the network and its switches.
+// MarshalJSON renders the kind by name ("single-switch", "leaf-spine").
+func (k TopoKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts the kind names (and, leniently, their aliases
+// "single" and "leafspine").
+func (k *TopoKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("scenario: topology kind must be a string: %w", err)
+	}
+	switch s {
+	case "", "single-switch", "single":
+		*k = SingleSwitch
+	case "leaf-spine", "leafspine":
+		*k = LeafSpine
+	default:
+		return fmt.Errorf("scenario: unknown topology kind %q (single-switch|leaf-spine)", s)
+	}
+	return nil
+}
+
+// Topology describes the network and its switches. The json tags are
+// the on-disk spec schema (see LoadSpec); zero fields are omitted so
+// exported templates stay compact.
 type Topology struct {
-	Kind TopoKind
+	Kind TopoKind `json:"kind"`
 
 	// Hosts is the end-node count (single-switch; default 8).
-	Hosts int
+	Hosts int `json:"hosts,omitempty"`
 	// Spines/Leaves/HostsPerLeaf size the fabric (leaf-spine; default
 	// 2×2×4).
-	Spines, Leaves, HostsPerLeaf int
+	Spines       int `json:"spines,omitempty"`
+	Leaves       int `json:"leaves,omitempty"`
+	HostsPerLeaf int `json:"hosts_per_leaf,omitempty"`
 
 	// LinkBps is the host access rate (default 10G). SpineLinkBps is the
 	// leaf↔spine rate (default LinkBps).
-	LinkBps      float64
-	SpineLinkBps float64
+	LinkBps      float64 `json:"link_bps,omitempty"`
+	SpineLinkBps float64 `json:"spine_link_bps,omitempty"`
 	// LinkDelay is the per-link propagation delay (default 5µs
 	// single-switch, 10µs leaf-spine).
-	LinkDelay sim.Duration
+	LinkDelay sim.Duration `json:"link_delay,omitempty"`
 	// DegradedPorts maps host IDs to a rate multiplier in (0,1): those
 	// hosts' access links run slower, modeling flapping optics or a
 	// misnegotiated port.
-	DegradedPorts map[int]float64
+	DegradedPorts map[int]float64 `json:"degraded_ports,omitempty"`
 
 	// BufferBytes fixes the shared buffer per switch. When zero the
 	// buffer is sized Tomahawk-style from BufferKBPerPortPerGbps
 	// (default 5.12).
-	BufferBytes            int
-	BufferKBPerPortPerGbps float64
+	BufferBytes            int     `json:"buffer_bytes,omitempty"`
+	BufferKBPerPortPerGbps float64 `json:"buffer_kb_per_port_per_gbps,omitempty"`
 	// CellBytes is the buffer cell size (default 200).
-	CellBytes int
+	CellBytes int `json:"cell_bytes,omitempty"`
 
 	// Classes is the number of traffic classes per port (default 1).
-	Classes int
+	Classes int `json:"classes,omitempty"`
 	// Scheduler is the per-port discipline across classes:
 	// "fifo" (default), "drr", or "sp".
-	Scheduler string
+	Scheduler string `json:"scheduler,omitempty"`
 
 	// ECNThresholdBytes fixes the marking point. When zero it defaults to
 	// 65 MTUs on a single switch and ECNThresholdFrac×BDP (default 0.72)
 	// on a fabric.
-	ECNThresholdBytes int
-	ECNThresholdFrac  float64
+	ECNThresholdBytes int     `json:"ecn_threshold_bytes,omitempty"`
+	ECNThresholdFrac  float64 `json:"ecn_threshold_frac,omitempty"`
 }
 
 // NumHosts returns the total host count.
@@ -154,65 +182,66 @@ const (
 // across kinds; each kind documents what it reads.
 type Workload struct {
 	// Kind is one of the WL* constants.
-	Kind string
+	Kind string `json:"kind"`
 	// Label names the component in metric columns (default: Kind).
-	Label string
+	Label string `json:"label,omitempty"`
 
 	// Load is the offered load as a fraction of access bandwidth
 	// (background, permutation, alltoall, allreduce).
-	Load float64
+	Load float64 `json:"load,omitempty"`
 	// Dist selects the flow-size distribution for background traffic:
 	// "websearch" (default), "cache", or "uniform" (FlowSize bytes).
-	Dist string
+	Dist string `json:"dist,omitempty"`
 	// FlowSize is the per-flow size for collectives/permutation and the
 	// "uniform" distribution.
-	FlowSize int64
+	FlowSize int64 `json:"flow_size,omitempty"`
 
 	// QuerySize is the total incast response volume per query; Fanout the
 	// number of response flows; Queries how many queries to measure;
 	// Interval the spacing (0 derives ~10× the unloaded QCT); QPS an
 	// optional Poisson query rate replacing Interval.
-	QuerySize int64
-	Fanout    int
-	Queries   int
-	Interval  sim.Duration
-	QPS       float64
+	QuerySize int64        `json:"query_size,omitempty"`
+	Fanout    int          `json:"fanout,omitempty"`
+	Queries   int          `json:"queries,omitempty"`
+	Interval  sim.Duration `json:"interval,omitempty"`
+	QPS       float64      `json:"qps,omitempty"`
 	// Client fixes the incast client (and the longlived destination);
 	// -1 picks a random client per query. Servers restricts incast
 	// responders to hosts 1..Servers (0 = all non-client hosts).
-	Client  int
-	Servers int
+	Client  int `json:"client,omitempty"`
+	Servers int `json:"servers,omitempty"`
 
 	// Count is the number of longlived flows.
-	Count int
+	Count int `json:"count,omitempty"`
 	// Stride is the permutation offset (default 1); RotateStride advances
 	// it every round.
-	Stride       int
-	RotateStride bool
+	Stride       int  `json:"stride,omitempty"`
+	RotateStride bool `json:"rotate_stride,omitempty"`
 
 	// Priority is the traffic class; CC the congestion controller
 	// ("dctcp" default, "cubic", "reno"); DupThresh a fixed fast-
 	// retransmit threshold (0 = adaptive early retransmit).
-	Priority  int
-	CC        string
-	DupThresh int
+	Priority  int    `json:"priority,omitempty"`
+	CC        string `json:"cc,omitempty"`
+	DupThresh int    `json:"dup_thresh,omitempty"`
 	// ExcludeClient keeps this workload off the gating incast client
 	// (the Fig 6 inter-port configuration).
-	ExcludeClient bool
+	ExcludeClient bool `json:"exclude_client,omitempty"`
 
 	// OnTime/OffTime gate round-based generators into bursts: the
 	// workload runs for OnTime, pauses for OffTime, repeating. Zero
 	// OnTime means always on.
-	OnTime, OffTime sim.Duration
+	OnTime  sim.Duration `json:"on_time,omitempty"`
+	OffTime sim.Duration `json:"off_time,omitempty"`
 
 	// Raw injection (cbr, burst): DstPort is the egress port, RateBps the
 	// injection rate, Bytes the burst volume, At the burst start, PktSize
 	// the packet size (default 1000).
-	DstPort int
-	RateBps float64
-	Bytes   int64
-	At      sim.Duration
-	PktSize int
+	DstPort int          `json:"dst_port,omitempty"`
+	RateBps float64      `json:"rate_bps,omitempty"`
+	Bytes   int64        `json:"bytes,omitempty"`
+	At      sim.Duration `json:"at,omitempty"`
+	PktSize int          `json:"pkt_size,omitempty"`
 }
 
 func (w Workload) label(i int) string {
@@ -227,27 +256,33 @@ func (w Workload) raw() bool { return w.Kind == WLCBR || w.Kind == WLBurst }
 // Spec is a complete declarative scenario.
 type Spec struct {
 	// Name identifies the scenario (registry key, table ID).
-	Name string
+	Name string `json:"name"`
 	// Title is the human-readable one-liner.
-	Title string
+	Title string `json:"title,omitempty"`
 
-	Topology  Topology
-	Policy    Policy
-	Workloads []Workload
+	Topology  Topology   `json:"topology"`
+	Policy    Policy     `json:"policy"`
+	Workloads []Workload `json:"workloads"`
 
 	// Warmup delays the gating incast so background traffic reaches
 	// steady state (default 2ms when a gating incast exists).
-	Warmup sim.Duration
+	Warmup sim.Duration `json:"warmup,omitempty"`
 	// Duration is the measurement horizon after warmup. Runs with a
 	// gating incast may end earlier (all queries answered) or up to 500ms
 	// later (stragglers).
-	Duration sim.Duration
+	Duration sim.Duration `json:"duration,omitempty"`
 	// Seed seeds every RNG in the run (default 42).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Scale is the run-size preset applied by Run: "quick" shrinks to
+	// test scale, "paper" grows to evaluation scale, ""/"full" runs the
+	// spec as written. File-based specs carry their scale here; the CLI
+	// -scale flag overrides it.
+	Scale Scale `json:"scale,omitempty"`
 
 	// Metrics selects summary-table columns by name (see columns.go);
 	// nil picks a default set based on the workload mix.
-	Metrics []string
+	Metrics []string `json:"metrics,omitempty"`
 }
 
 // WithDefaults returns the spec with every defaultable field resolved.
@@ -308,6 +343,9 @@ func (s Spec) WithDefaults() Spec {
 	if s.Warmup == 0 && s.gatingIncast() >= 0 {
 		s.Warmup = 2 * sim.Millisecond
 	}
+	// Copy before defaulting workloads: the receiver shares its backing
+	// array with the caller's spec (often a pristine registry entry).
+	s.Workloads = append([]Workload(nil), s.Workloads...)
 	for i := range s.Workloads {
 		w := &s.Workloads[i]
 		if w.PktSize == 0 {
@@ -350,6 +388,22 @@ func (s Spec) Validate() error {
 	if len(s.Workloads) == 0 {
 		return fmt.Errorf("scenario %q: no workloads", s.Name)
 	}
+	if _, err := ParseScale(string(s.Scale)); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	// Negative sizes, counts, and times cannot be built or scheduled
+	// (the engine panics on events in the past); reject them here so a
+	// well-formed JSON file can never crash or wedge the builder.
+	t := s.Topology
+	if t.Hosts < 0 || t.Spines < 0 || t.Leaves < 0 || t.HostsPerLeaf < 0 ||
+		t.LinkBps < 0 || t.SpineLinkBps < 0 || t.LinkDelay < 0 ||
+		t.BufferBytes < 0 || t.BufferKBPerPortPerGbps < 0 || t.CellBytes < 0 ||
+		t.Classes < 0 || t.ECNThresholdBytes < 0 || t.ECNThresholdFrac < 0 {
+		return fmt.Errorf("scenario %q: negative topology field", s.Name)
+	}
+	if s.Duration < 0 || s.Warmup < 0 {
+		return fmt.Errorf("scenario %q: negative duration/warmup", s.Name)
+	}
 	if _, err := s.Topology.schedKind(); err != nil {
 		return err
 	}
@@ -357,9 +411,17 @@ func (s Spec) Validate() error {
 		return err
 	}
 	raws := 0
+	nHosts := s.Topology.NumHosts()
 	for _, w := range s.Workloads {
 		if w.raw() {
 			raws++
+		}
+		if w.Load < 0 || w.FlowSize < 0 || w.QuerySize < 0 || w.Fanout < 0 ||
+			w.Queries < 0 || w.Interval < 0 || w.QPS < 0 || w.Servers < 0 ||
+			w.Count < 0 || w.Stride < 0 || w.Priority < 0 || w.DupThresh < 0 ||
+			w.OnTime < 0 || w.OffTime < 0 || w.RateBps < 0 || w.Bytes < 0 ||
+			w.At < 0 || w.PktSize < 0 {
+			return fmt.Errorf("scenario %q: negative field in %s workload", s.Name, w.Kind)
 		}
 		switch w.Kind {
 		case WLBackground, WLPermutation, WLAllToAll, WLAllReduce:
@@ -373,13 +435,27 @@ func (s Spec) Validate() error {
 			if w.QuerySize <= 0 {
 				return fmt.Errorf("scenario %q: incast needs QuerySize > 0", s.Name)
 			}
+			// Client -1 means a random client per query; anything else
+			// must name a host (the builder indexes hosts by it).
+			if w.Client < -1 || w.Client >= nHosts {
+				return fmt.Errorf("scenario %q: incast client %d out of range (-1 or 0..%d)", s.Name, w.Client, nHosts-1)
+			}
 		case WLLongLived:
 			if w.Count <= 0 {
 				return fmt.Errorf("scenario %q: longlived needs Count > 0", s.Name)
 			}
+			if w.Client < 0 || w.Client >= nHosts {
+				return fmt.Errorf("scenario %q: longlived client %d out of range (0..%d)", s.Name, w.Client, nHosts-1)
+			}
 		case WLCBR, WLBurst:
 			if w.RateBps <= 0 {
 				return fmt.Errorf("scenario %q: %s needs RateBps > 0", s.Name, w.Kind)
+			}
+			// Raw injection routes on the packet's Dst: it must be one of
+			// the switch's egress ports. (Raw on a fabric is rejected
+			// below with its own message.)
+			if s.Topology.Kind == SingleSwitch && (w.DstPort < 0 || w.DstPort >= s.Topology.Hosts) {
+				return fmt.Errorf("scenario %q: %s dst_port %d out of range (0..%d)", s.Name, w.Kind, w.DstPort, s.Topology.Hosts-1)
 			}
 		default:
 			return fmt.Errorf("scenario %q: unknown workload kind %q", s.Name, w.Kind)

@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"occamy/internal/experiments"
+	"occamy/internal/metrics"
+	"occamy/internal/switchsim"
+	"occamy/internal/trace"
+)
+
+// Deep telemetry
+//
+// The summary row answers "which policy wins"; the tables here answer
+// "why": TailTable breaks each workload's completion times into
+// quantiles (p25..p999) overall and per flow-size bucket, and
+// PerSwitchTable breaks the buffer dynamics down switch by switch and
+// port by port. Both render from the Result alone, so sweeps and
+// file-based runs get them for free (occamy-scenario run -deep), and
+// the occupancy time series behind them dumps to CSV/sparklines with
+// -trace.
+
+// SwitchTelemetry is one switch's recorded dynamics: egress counters
+// per port plus the sampled occupancy series and its per-port
+// peaks/means.
+type SwitchTelemetry struct {
+	Name string
+	// Ports holds the per-port egress counters; they sum to the
+	// corresponding PerSwitch stats fields exactly.
+	Ports []switchsim.PortStats
+	// PeakOcc/MeanOcc are the sampled whole-switch occupancy extremes in
+	// bytes; PortPeak/PortMean the same per egress port.
+	PeakOcc  int
+	MeanOcc  float64
+	PortPeak []int
+	PortMean []float64
+	// Series is the sampled whole-switch occupancy in bytes, one entry
+	// per SampleEvery tick.
+	Series []float64
+}
+
+// newTelemetry distills a recorder into the result's telemetry entry.
+func newTelemetry(sw *switchsim.Switch, rec *switchsim.Recorder) SwitchTelemetry {
+	t := SwitchTelemetry{
+		Name:     sw.Name(),
+		Ports:    make([]switchsim.PortStats, sw.NumPorts()),
+		PeakOcc:  rec.Peak(),
+		MeanOcc:  rec.Mean(),
+		PortPeak: make([]int, sw.NumPorts()),
+		PortMean: make([]float64, sw.NumPorts()),
+		Series:   rec.Series,
+	}
+	for i := 0; i < sw.NumPorts(); i++ {
+		t.Ports[i] = sw.PortStats(i)
+		t.PortPeak[i] = rec.PortPeak(i)
+		t.PortMean[i] = rec.PortMean(i)
+	}
+	return t
+}
+
+// HottestPort returns the switch's port with the highest occupancy
+// peak (ties to the lowest id) and that peak in bytes; (-1, 0) on a
+// portless switch.
+func (t *SwitchTelemetry) HottestPort() (port, peak int) {
+	port = -1
+	for p, pk := range t.PortPeak {
+		if pk > peak || port < 0 {
+			port, peak = p, pk
+		}
+	}
+	return port, peak
+}
+
+// HottestPort returns the (switch, port) with the highest sampled
+// per-port occupancy peak across the run, with that peak in bytes;
+// (-1, -1, 0) when nothing was recorded.
+func (r *Result) HottestPort() (sw, port, peak int) {
+	sw, port = -1, -1
+	for i := range r.Telemetry {
+		if p, pk := r.Telemetry[i].HottestPort(); pk > peak {
+			sw, port, peak = i, p, pk
+		}
+	}
+	return sw, port, peak
+}
+
+// occPct renders an occupancy byte count as percent of buffer capacity.
+func (r *Result) occPct(bytes float64) string {
+	if r.BufferBytes == 0 {
+		return "0"
+	}
+	return experiments.F(100 * bytes / float64(r.BufferBytes))
+}
+
+// TailTable renders the quantile breakdown of every transport workload:
+// one "all" row plus one row per flow-size bucket, with p25/p50/p90/
+// p99/p999 completion times and slowdowns. Raw-injection workloads have
+// no completions and are skipped.
+func (r *Result) TailTable() *experiments.Table {
+	t := &experiments.Table{
+		ID:      r.Spec.Name + "-tails",
+		Title:   "completion-time tails by workload and flow size",
+		Columns: []string{"workload", "bucket", "n"},
+	}
+	for _, q := range metrics.TailQuantiles {
+		t.Columns = append(t.Columns, fmt.Sprintf("fct_p%s_ms", qLabel(q)))
+	}
+	for _, q := range metrics.TailQuantiles {
+		t.Columns = append(t.Columns, fmt.Sprintf("slow_p%s", qLabel(q)))
+	}
+	for i := range r.Workloads {
+		ws := &r.Workloads[i]
+		if ws.Kind == WLCBR || ws.Kind == WLBurst {
+			continue
+		}
+		for _, row := range ws.Col.TailRows(metrics.DefaultSizeBuckets, metrics.TailQuantiles) {
+			cells := []string{ws.Label, row.Label, fmt.Sprint(row.Count)}
+			for _, fct := range row.FCT {
+				if row.Count == 0 {
+					cells = append(cells, "-")
+				} else {
+					cells = append(cells, experiments.Ms(fct))
+				}
+			}
+			for _, s := range row.Slowdown {
+				if row.Count == 0 || s == 0 {
+					cells = append(cells, "-")
+				} else {
+					cells = append(cells, experiments.F(s))
+				}
+			}
+			t.AddRow(cells...)
+		}
+	}
+	return t
+}
+
+// qLabel renders a quantile as a percentile label: 0.25 → "25",
+// 0.999 → "999".
+func qLabel(q float64) string {
+	switch q {
+	case 0.999:
+		return "999"
+	default:
+		return fmt.Sprintf("%.0f", q*100)
+	}
+}
+
+// PerSwitchTable renders the buffer dynamics switch by switch: packet
+// counters, losses, and the sampled occupancy peaks/means, with the
+// hottest egress port of each switch called out.
+func (r *Result) PerSwitchTable() *experiments.Table {
+	t := &experiments.Table{
+		ID:    r.Spec.Name + "-switches",
+		Title: "per-switch buffer dynamics",
+		Columns: []string{"switch", "rx_pkts", "tx_pkts", "drops", "expelled", "ecn",
+			"peak_occ_pct", "mean_occ_pct", "hot_port", "hot_port_peak_pct"},
+	}
+	for i, st := range r.PerSwitch {
+		tel := r.Telemetry[i]
+		hot, hotPeak := tel.HottestPort()
+		t.AddRow(tel.Name,
+			fmt.Sprint(st.RxPackets), fmt.Sprint(st.TxPackets),
+			fmt.Sprint(st.Drops()), fmt.Sprint(st.DropsExpelled), fmt.Sprint(st.ECNMarked),
+			r.occPct(float64(tel.PeakOcc)), r.occPct(tel.MeanOcc),
+			fmt.Sprint(hot), r.occPct(float64(hotPeak)))
+	}
+	return t
+}
+
+// TraceSeries returns the aligned occupancy time series of every
+// switch: the recorded timestamps in seconds plus one named series per
+// switch.
+func (r *Result) TraceSeries() (times []float64, series []trace.Series) {
+	if len(r.Telemetry) == 0 {
+		return nil, nil
+	}
+	times = make([]float64, len(r.SampleTimes))
+	for i, t := range r.SampleTimes {
+		times[i] = t.Seconds()
+	}
+	for _, tel := range r.Telemetry {
+		series = append(series, trace.Series{Name: tel.Name, Values: tel.Series})
+	}
+	return times, series
+}
+
+// WriteTraceCSV dumps the per-switch occupancy series as CSV.
+func (r *Result) WriteTraceCSV(w io.Writer) error {
+	times, series := r.TraceSeries()
+	if len(series) == 0 {
+		return fmt.Errorf("scenario %q: no occupancy trace recorded", r.Spec.Name)
+	}
+	return trace.WriteCSV(w, times, series)
+}
+
+// TracePlot renders the per-switch occupancy series as labeled
+// sparklines on a shared scale (width cells; 0 = full resolution).
+func (r *Result) TracePlot(width int) string {
+	_, series := r.TraceSeries()
+	return trace.Plot(series, width)
+}

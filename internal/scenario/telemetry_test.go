@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"occamy/internal/switchsim"
+)
+
+// The zero-drift property, pushed down a level: per-port counters must
+// sum to per-switch stats, per-switch stats to the global totals, and
+// the whole book must close (rx = tx + drops + expelled + buffered) —
+// on every catalog scenario, single-switch and fabric alike.
+func TestTelemetrySumsToGlobalTotals(t *testing.T) {
+	for _, name := range exportableNames(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, _ := Get(name)
+			res, err := Run(sc.SpecAt(ScaleQuick))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Telemetry) != len(res.PerSwitch) {
+				t.Fatalf("%d telemetry entries for %d switches", len(res.Telemetry), len(res.PerSwitch))
+			}
+			var total switchsim.Stats
+			for i, st := range res.PerSwitch {
+				var agg switchsim.PortStats
+				for _, ps := range res.Telemetry[i].Ports {
+					agg.TxPackets += ps.TxPackets
+					agg.TxBytes += ps.TxBytes
+					agg.DropsAdmission += ps.DropsAdmission
+					agg.DropsNoMemory += ps.DropsNoMemory
+					agg.DropsExpelled += ps.DropsExpelled
+					agg.ECNMarked += ps.ECNMarked
+				}
+				if agg.TxPackets != st.TxPackets || agg.TxBytes != st.TxBytes {
+					t.Errorf("switch %d: per-port tx (%d pkts, %d B) != stats (%d, %d)",
+						i, agg.TxPackets, agg.TxBytes, st.TxPackets, st.TxBytes)
+				}
+				if agg.Drops() != st.Drops() || agg.DropsExpelled != st.DropsExpelled {
+					t.Errorf("switch %d: per-port drops (%d arr, %d exp) != stats (%d, %d)",
+						i, agg.Drops(), agg.DropsExpelled, st.Drops(), st.DropsExpelled)
+				}
+				if agg.ECNMarked != st.ECNMarked {
+					t.Errorf("switch %d: per-port ECN %d != stats %d", i, agg.ECNMarked, st.ECNMarked)
+				}
+				total.TxPackets += st.TxPackets
+				total.DropsAdmission += st.DropsAdmission
+				total.DropsNoMemory += st.DropsNoMemory
+				total.DropsExpelled += st.DropsExpelled
+			}
+			if total.TxPackets != res.Total.TxPackets || total.Drops() != res.Total.Drops() ||
+				total.DropsExpelled != res.Total.DropsExpelled {
+				t.Errorf("per-switch sums do not reproduce Total: %+v vs %+v", total, res.Total)
+			}
+			if drift := res.AccountingDrift(); drift != 0 {
+				t.Errorf("packet accounting drift %d", drift)
+			}
+			// Occupancy telemetry sanity: the recorded peak is the result's
+			// MaxOccupancy, per-port peaks stay under their switch's peak,
+			// and every switch's series has the same aligned length.
+			maxPeak := 0
+			for i := range res.Telemetry {
+				tel := &res.Telemetry[i]
+				if tel.PeakOcc > maxPeak {
+					maxPeak = tel.PeakOcc
+				}
+				for p, pk := range tel.PortPeak {
+					if pk > tel.PeakOcc {
+						t.Errorf("switch %d port %d peak %d exceeds switch peak %d", i, p, pk, tel.PeakOcc)
+					}
+				}
+				if len(tel.Series) != len(res.Telemetry[0].Series) {
+					t.Errorf("switch %d series length %d != switch 0's %d", i, len(tel.Series), len(res.Telemetry[0].Series))
+				}
+			}
+			if maxPeak != res.MaxOccupancy {
+				t.Errorf("telemetry peak %d != MaxOccupancy %d", maxPeak, res.MaxOccupancy)
+			}
+		})
+	}
+}
+
+// deepColumns are the new tail/per-switch metric columns; the
+// acceptance bar is that they are selectable on every catalog entry.
+var deepColumns = []string{
+	"qct_p50_ms", "qct_p999_ms", "qct_p999_slow",
+	"bg_p50_fct_ms", "bg_p999_fct_ms", "bg_p99_slow", "bg_p999_slow", "small_bg_p999_slow",
+	"mean_occ_pct", "hot_port", "hot_port_peak_pct", "switches",
+}
+
+func TestDeepColumnsSelectableEverywhere(t *testing.T) {
+	for _, m := range deepColumns {
+		if _, ok := columnFuncs[m]; !ok {
+			t.Fatalf("column %q not registered", m)
+		}
+	}
+	for _, name := range exportableNames(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, _ := Get(name)
+			spec := sc.SpecAt(ScaleQuick)
+			spec.Metrics = append([]string{"policy"}, deepColumns...)
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := res.Row(spec.Metrics)
+			for i, cell := range row {
+				if cell == "" || strings.HasPrefix(cell, "?") {
+					t.Errorf("column %q rendered %q", spec.Metrics[i], cell)
+				}
+			}
+		})
+	}
+}
+
+// Tail quantiles surfaced as columns must be ordered: p999 >= p99 >=
+// p50 on a real run's collectors (the scenario-level echo of the
+// metrics property tests).
+func TestTailColumnsOrdered(t *testing.T) {
+	sc, _ := Get("mixed-load-90")
+	res, err := Run(sc.SpecAt(ScaleQuick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Workloads {
+		col := &res.Workloads[i].Col
+		if col.Count() == 0 {
+			continue
+		}
+		p50, p99, p999 := col.FCTQuantile(0.5), col.FCTQuantile(0.99), col.FCTQuantile(0.999)
+		if p999 < p99 || p99 < p50 {
+			t.Errorf("workload %s: FCT tail disordered: p50=%v p99=%v p999=%v",
+				res.Workloads[i].Label, p50, p99, p999)
+		}
+	}
+}
+
+// The trace dump: CSV has one aligned row per sample with one column
+// per switch, and the sparkline plot names every switch.
+func TestTraceOutputs(t *testing.T) {
+	sc, _ := Get("degraded-leafspine")
+	res, err := Run(sc.SpecAt(ScaleQuick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := res.WriteTraceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(res.Telemetry[0].Series)+1 {
+		t.Fatalf("CSV has %d lines for %d samples", len(lines), len(res.Telemetry[0].Series))
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "time_s" || len(header) != len(res.Telemetry)+1 {
+		t.Fatalf("CSV header %v for %d switches", header, len(res.Telemetry))
+	}
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != len(header) {
+			t.Fatalf("ragged CSV row %q", l)
+		}
+	}
+	plot := res.TracePlot(40)
+	for i := range res.Telemetry {
+		if !strings.Contains(plot, res.Telemetry[i].Name) {
+			t.Errorf("plot missing switch %s:\n%s", res.Telemetry[i].Name, plot)
+		}
+	}
+}

@@ -36,8 +36,10 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is a virtual timestamp in nanoseconds since the start of the run.
@@ -77,6 +79,33 @@ func (t Time) String() string {
 	default:
 		return fmt.Sprintf("%.6fs", t.Seconds())
 	}
+}
+
+// MarshalJSON renders the value in Go duration syntax ("150µs", "2ms"),
+// so serialized scenario specs stay human-editable. Nanosecond-exact
+// round trip: time.Duration.String always parses back to the same count.
+func (t Time) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(t).String())
+}
+
+// UnmarshalJSON accepts Go duration syntax ("2ms") or a bare integer
+// nanosecond count.
+func (t *Time) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("sim: bad duration %q: %w", s, err)
+		}
+		*t = Time(d.Nanoseconds())
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("sim: duration must be a string like \"2ms\" or integer nanoseconds, got %s", data)
+	}
+	*t = Time(ns)
+	return nil
 }
 
 // Handler receives typed events scheduled with AtEvent/AfterEvent. A

@@ -1,0 +1,82 @@
+package switchsim
+
+import "occamy/internal/sim"
+
+// Recorder tracks one switch's shared-buffer occupancy dynamics over a
+// run: the whole-switch occupancy time series (for trace dumps and
+// sparklines) plus peak/mean occupancy per switch and per egress port.
+// The caller drives it — typically one scenario-level ticker calls
+// Sample on every recorder at a fixed period, so the samples of all
+// switches in a fabric are aligned in time.
+type Recorder struct {
+	sw *Switch
+
+	// Series is the whole-switch occupancy in bytes, one entry per
+	// Sample call; Times holds the matching timestamps.
+	Series []float64
+	Times  []sim.Time
+
+	peak     int
+	sum      float64
+	portPeak []int
+	portSum  []float64
+	n        int
+}
+
+// NewRecorder attaches a recorder to a switch.
+func NewRecorder(sw *Switch) *Recorder {
+	return &Recorder{
+		sw:       sw,
+		portPeak: make([]int, sw.NumPorts()),
+		portSum:  make([]float64, sw.NumPorts()),
+	}
+}
+
+// Switch returns the recorded switch.
+func (r *Recorder) Switch() *Switch { return r.sw }
+
+// Sample records the switch's current occupancy (whole-switch and
+// per-port) at the given timestamp.
+func (r *Recorder) Sample(now sim.Time) {
+	occ := r.sw.Occupancy()
+	r.Series = append(r.Series, float64(occ))
+	r.Times = append(r.Times, now)
+	if occ > r.peak {
+		r.peak = occ
+	}
+	r.sum += float64(occ)
+	for i := range r.portPeak {
+		p := r.sw.PortOccupancy(i)
+		if p > r.portPeak[i] {
+			r.portPeak[i] = p
+		}
+		r.portSum[i] += float64(p)
+	}
+	r.n++
+}
+
+// Samples returns the number of Sample calls so far.
+func (r *Recorder) Samples() int { return r.n }
+
+// Peak returns the highest sampled whole-switch occupancy in bytes.
+func (r *Recorder) Peak() int { return r.peak }
+
+// Mean returns the average sampled whole-switch occupancy in bytes.
+func (r *Recorder) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// PortPeak returns the highest sampled occupancy of port i in bytes.
+func (r *Recorder) PortPeak(i int) int { return r.portPeak[i] }
+
+// PortMean returns the average sampled occupancy of port i in bytes.
+func (r *Recorder) PortMean(i int) float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.portSum[i] / float64(r.n)
+}
+

@@ -1,0 +1,109 @@
+package switchsim
+
+import (
+	"testing"
+
+	"occamy/internal/bm"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+)
+
+// Per-port accounting: the per-port egress counters must sum to the
+// switch-level stats exactly, and per-port occupancy must sum to the
+// whole-switch occupancy at any instant.
+func TestPortStatsSumToSwitchStats(t *testing.T) {
+	eng := sim.NewEngine()
+	sw, _ := testSwitch(t, eng, Config{
+		Ports: 4, ClassesPerPort: 2, BufferBytes: 12_000,
+		ECNThresholdBytes: 2_000, Policy: bm.NewDT(1),
+	}, 1e9)
+	rng := sim.NewRand(9)
+	for i := 0; i < 400; i++ {
+		sw.Receive(mkpkt(pkt.NodeID(rng.Intn(4)), 500+rng.Intn(1000), rng.Intn(2)))
+		if i%50 == 0 {
+			eng.RunFor(20 * sim.Microsecond)
+		}
+		// Mid-run: occupancy decomposes over ports.
+		sum := 0
+		for p := 0; p < sw.NumPorts(); p++ {
+			sum += sw.PortOccupancy(p)
+		}
+		if sum != sw.Occupancy() {
+			t.Fatalf("port occupancies sum to %d, switch reports %d", sum, sw.Occupancy())
+		}
+	}
+	eng.Run()
+
+	var agg PortStats
+	for p := 0; p < sw.NumPorts(); p++ {
+		ps := sw.PortStats(p)
+		agg.TxPackets += ps.TxPackets
+		agg.TxBytes += ps.TxBytes
+		agg.DropsAdmission += ps.DropsAdmission
+		agg.DropsNoMemory += ps.DropsNoMemory
+		agg.DropsExpelled += ps.DropsExpelled
+		agg.ECNMarked += ps.ECNMarked
+	}
+	st := sw.Stats()
+	if agg.TxPackets != st.TxPackets || agg.TxBytes != st.TxBytes {
+		t.Errorf("per-port tx %+v != switch stats %+v", agg, st)
+	}
+	if agg.DropsAdmission != st.DropsAdmission || agg.DropsNoMemory != st.DropsNoMemory ||
+		agg.DropsExpelled != st.DropsExpelled {
+		t.Errorf("per-port drops %+v != switch stats %+v", agg, st)
+	}
+	if agg.ECNMarked != st.ECNMarked {
+		t.Errorf("per-port ECN %d != switch %d", agg.ECNMarked, st.ECNMarked)
+	}
+	if st.DropsAdmission == 0 {
+		t.Error("scenario too gentle: no admission drops exercised the per-port counters")
+	}
+	if st.ECNMarked == 0 {
+		t.Error("no ECN marks exercised the per-port counters")
+	}
+}
+
+// The recorder's aggregates must match its own series, and per-port
+// peaks can never exceed the whole-switch peak (samples are aligned).
+func TestRecorderAggregates(t *testing.T) {
+	eng := sim.NewEngine()
+	sw, _ := testSwitch(t, eng, Config{
+		Ports: 2, ClassesPerPort: 1, BufferBytes: 50_000, Policy: bm.NewDT(1),
+	}, 1e9)
+	rec := NewRecorder(sw)
+	tick := eng.Every(0, 5*sim.Microsecond, func() { rec.Sample(eng.Now()) })
+	rng := sim.NewRand(3)
+	for i := 0; i < 200; i++ {
+		sw.Receive(mkpkt(pkt.NodeID(rng.Intn(2)), 1000, 0))
+		if i%11 == 0 {
+			eng.RunFor(15 * sim.Microsecond)
+		}
+	}
+	eng.RunFor(sim.Millisecond)
+	tick.Stop()
+
+	if rec.Samples() == 0 || len(rec.Series) != rec.Samples() {
+		t.Fatalf("series length %d, samples %d", len(rec.Series), rec.Samples())
+	}
+	peak, sum := 0.0, 0.0
+	for _, v := range rec.Series {
+		if v > peak {
+			peak = v
+		}
+		sum += v
+	}
+	if int(peak) != rec.Peak() {
+		t.Errorf("Peak()=%d, series max %g", rec.Peak(), peak)
+	}
+	if mean := sum / float64(len(rec.Series)); mean != rec.Mean() {
+		t.Errorf("Mean()=%g, series mean %g", rec.Mean(), mean)
+	}
+	if rec.Peak() == 0 {
+		t.Error("recorder never saw a non-empty buffer")
+	}
+	for p := 0; p < sw.NumPorts(); p++ {
+		if rec.PortPeak(p) > rec.Peak() {
+			t.Errorf("port %d peak %d exceeds switch peak %d", p, rec.PortPeak(p), rec.Peak())
+		}
+	}
+}

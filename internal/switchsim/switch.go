@@ -85,6 +85,22 @@ type Stats struct {
 // Drops returns total losses of arriving packets (not expulsions).
 func (s Stats) Drops() int64 { return s.DropsAdmission + s.DropsNoMemory }
 
+// PortStats aggregates egress-side counters for one port: transmissions
+// out of it, and losses/marks of packets destined to it. (Rx has no
+// per-port breakdown — the switch model routes on arrival, so arrivals
+// are only attributable to an egress queue.)
+type PortStats struct {
+	TxPackets      int64
+	TxBytes        int64
+	DropsAdmission int64
+	DropsNoMemory  int64
+	DropsExpelled  int64
+	ECNMarked      int64
+}
+
+// Drops returns the port's total arrival losses (not expulsions).
+func (s PortStats) Drops() int64 { return s.DropsAdmission + s.DropsNoMemory }
+
 // classQueue is one traffic-class queue: the PD-list in cell memory plus
 // the in-lockstep packet metadata and the ABM drain-rate estimator.
 type classQueue struct {
@@ -137,6 +153,7 @@ type Switch struct {
 
 	totalBytes int // sum of queue lengths (packet bytes, not cell-rounded)
 	stats      Stats
+	portStats  []PortStats
 
 	// Memory-bandwidth meter: cell operations (reads+writes) per second,
 	// for the Fig 7(b) utilization measurement.
@@ -182,6 +199,7 @@ func New(name string, eng *sim.Engine, cfg Config) *Switch {
 	if p, ok := cfg.Policy.(core.QueuePreemptor); ok {
 		s.preemptQ = p
 	}
+	s.portStats = make([]PortStats, cfg.Ports)
 	s.ports = make([]*port, cfg.Ports)
 	for i := range s.ports {
 		pt := &port{id: i, sw: s, sched: newScheduler(cfg.Scheduler, cfg.ClassesPerPort, cfg.DRRQuantum)}
@@ -237,6 +255,24 @@ func (s *Switch) Stats() Stats { return s.stats }
 
 // Pool exposes the cell pool (tests assert on its meters).
 func (s *Switch) Pool() *cellmem.Pool { return s.pool }
+
+// NumPorts returns the egress port count.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// PortStats returns a snapshot of port i's egress counters. Summed over
+// all ports they reproduce the switch-level Stats tx/drop/mark fields
+// exactly (the scenario property tests assert it).
+func (s *Switch) PortStats(i int) PortStats { return s.portStats[i] }
+
+// PortOccupancy returns the bytes currently buffered for egress port i
+// across all its traffic classes.
+func (s *Switch) PortOccupancy(i int) int {
+	n := 0
+	for _, cq := range s.ports[i].classes {
+		n += cq.cells.Len()
+	}
+	return n
+}
 
 // BufferedPackets returns the number of packets currently buffered across
 // all queues. Together with Stats it closes the packet-accounting books:
@@ -322,6 +358,7 @@ func (s *Switch) HeadDrop(q int) (int, int, bool) {
 	}
 	s.totalBytes -= size
 	s.stats.DropsExpelled++
+	s.portStats[q/s.cfg.ClassesPerPort].DropsExpelled++
 	s.memBW.add(s.eng.Now(), cells) // pointer-path bandwidth only
 	if s.DropHook != nil {
 		s.DropHook(p, q, DropExpelled)
@@ -385,6 +422,7 @@ func (s *Switch) Receive(p *pkt.Packet) {
 	if s.cfg.ECNThresholdBytes > 0 && p.ECNCapable && cq.cells.Len() >= s.cfg.ECNThresholdBytes {
 		p.CE = true
 		s.stats.ECNMarked++
+		s.portStats[portID].ECNMarked++
 		if s.MarkHook != nil {
 			s.MarkHook(p, q)
 		}
@@ -403,11 +441,14 @@ func (s *Switch) Receive(p *pkt.Packet) {
 }
 
 func (s *Switch) drop(p *pkt.Packet, q int, reason DropReason) {
+	ps := &s.portStats[q/s.cfg.ClassesPerPort]
 	switch reason {
 	case DropAdmission:
 		s.stats.DropsAdmission++
+		ps.DropsAdmission++
 	case DropNoMemory:
 		s.stats.DropsNoMemory++
+		ps.DropsNoMemory++
 	}
 	if s.DropHook != nil {
 		s.DropHook(p, q, reason)
@@ -440,6 +481,9 @@ func (s *Switch) tryTransmit(pt *port) {
 	}
 	s.stats.TxPackets++
 	s.stats.TxBytes += int64(p.Size)
+	ps := &s.portStats[pt.id]
+	ps.TxPackets++
+	ps.TxBytes += int64(p.Size)
 
 	txTime := sim.Duration(float64(p.Size*8) / pt.rateBps * float64(sim.Second))
 	if txTime < 1 {

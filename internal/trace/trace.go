@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -71,6 +72,34 @@ func Downsample(values []float64, width int) []float64 {
 type Series struct {
 	Name   string
 	Values []float64
+}
+
+// WriteCSV writes aligned time series as CSV: a header line
+// "time_s,<name>,<name>,..." then one row per sample. Every series must
+// have exactly len(times) values.
+func WriteCSV(w io.Writer, times []float64, series []Series) error {
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, "time_s")
+	for _, s := range series {
+		if len(s.Values) != len(times) {
+			return fmt.Errorf("trace: series %q has %d values for %d timestamps", s.Name, len(s.Values), len(times))
+		}
+		cols = append(cols, strings.ReplaceAll(s.Name, ",", "_"))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for i, t := range times {
+		row[0] = fmt.Sprintf("%.9f", t)
+		for j, s := range series {
+			row[j+1] = fmt.Sprintf("%g", s.Values[i])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Plot renders several series as labeled sparklines on a shared scale,

@@ -115,3 +115,28 @@ func TestPlotSharedScale(t *testing.T) {
 		t.Fatalf("missing scale annotation: %q", lines[0])
 	}
 }
+
+func TestWriteCSV(t *testing.T) {
+	var buf strings.Builder
+	err := WriteCSV(&buf, []float64{0, 0.001, 0.002}, []Series{
+		{Name: "sw0", Values: []float64{0, 500, 1000}},
+		{Name: "has,comma", Values: []float64{1, 2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header + 3 rows", len(lines))
+	}
+	if lines[0] != "time_s,sw0,has_comma" {
+		t.Fatalf("header = %q (commas in names must be sanitized)", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "0.001000000,500,2") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+	// Ragged input is an error, not silent misalignment.
+	if err := WriteCSV(&buf, []float64{0, 1}, []Series{{Name: "x", Values: []float64{1}}}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}

@@ -37,7 +37,8 @@ func (a *AllToAll) RoundInterval() sim.Duration {
 	return sim.Duration(perHost / (a.Load * a.LinkBps) * float64(sim.Second))
 }
 
-// Start launches rounds in [from, until).
+// Start launches rounds in [from, until] — until is inclusive:
+// Start(t, t) launches exactly one round.
 func (a *AllToAll) Start(from, until sim.Time) {
 	if a.Load <= 0 || len(a.Hosts) < 2 {
 		panic("workload: AllToAll needs Load > 0 and >= 2 hosts")
@@ -147,7 +148,8 @@ func (a *AllReduce) RoundInterval() sim.Duration {
 	return sim.Duration(perHost / (a.Load * a.LinkBps) * float64(sim.Second))
 }
 
-// Start launches rounds in [from, until).
+// Start launches rounds in [from, until] — until is inclusive:
+// Start(t, t) launches exactly one round.
 func (a *AllReduce) Start(from, until sim.Time) {
 	if a.Load <= 0 || len(a.Hosts) < 2 {
 		panic("workload: AllReduce needs Load > 0 and >= 2 hosts")

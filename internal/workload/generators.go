@@ -139,7 +139,8 @@ type Incast struct {
 	handles []*netsim.FlowHandle
 }
 
-// Start begins issuing queries in [from, until). Fanout may exceed the
+// Start begins issuing queries in [from, until] (inclusive: Start(t, t)
+// issues one query). Fanout may exceed the
 // server count: servers then carry multiple response flows per query
 // (the paper's incast degree 40 across 5 senders).
 func (g *Incast) Start(from, until sim.Time) {

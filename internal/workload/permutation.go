@@ -46,7 +46,8 @@ func (g *Permutation) RoundInterval() sim.Duration {
 	return sim.Duration(perHost / (g.Load * g.LinkBps) * float64(sim.Second))
 }
 
-// Start launches rounds in [from, until).
+// Start launches rounds in [from, until] — until is inclusive:
+// Start(t, t) launches exactly one round.
 func (g *Permutation) Start(from, until sim.Time) {
 	if g.Load <= 0 || len(g.Hosts) < 2 {
 		panic("workload: Permutation needs Load > 0 and >= 2 hosts")

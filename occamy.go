@@ -43,8 +43,14 @@
 // A catalog of registered scenarios — the ported examples/figures plus
 // at-scale workloads beyond the paper — is listed by ScenarioNames and
 // runnable (with grid sweeps over any spec field) through
-// cmd/occamy-scenario. SCENARIOS.md documents the spec schema and how to
-// register new scenarios.
+// cmd/occamy-scenario. Specs are also files: they serialize to strict
+// JSON (LoadScenarioSpec, ScenarioSpec.Save; `occamy-scenario export`
+// dumps any catalog entry as a template, `run ./file.json` executes
+// one), carry a quick|full|paper Scale preset, and every run records
+// deep telemetry — tail-quantile tables (ScenarioResult.TailTable) and
+// per-switch/per-port buffer dynamics (ScenarioResult.PerSwitchTable).
+// SCENARIOS.md documents the spec schema and how to register new
+// scenarios.
 //
 // The deeper layers remain importable for advanced use:
 //
@@ -270,8 +276,12 @@ type AllToAll = workload.AllToAll
 type AllReduce = workload.AllReduce
 
 // Collector accumulates FCT/QCT samples and computes the paper's
-// statistics (mean, p99, slowdowns).
+// statistics (mean, p99, slowdowns, quantile tables).
 type Collector = metrics.Collector
+
+// QuantileRow is one tail-table line: a labeled sample population with
+// its completion-time and slowdown quantiles.
+type QuantileRow = metrics.QuantileRow
 
 // --- Declarative scenarios ----------------------------------------------------
 
@@ -291,8 +301,27 @@ type ScenarioPolicy = scenario.Policy
 // "burst").
 type ScenarioWorkload = scenario.Workload
 
-// ScenarioResult carries one scenario run's metrics.
+// ScenarioResult carries one scenario run's metrics, including the deep
+// telemetry behind Result.TailTable and Result.PerSwitchTable.
 type ScenarioResult = scenario.Result
+
+// SwitchTelemetry is one switch's recorded buffer dynamics: per-port
+// egress counters plus sampled occupancy peaks, means, and time series.
+type SwitchTelemetry = scenario.SwitchTelemetry
+
+// SwitchPortStats aggregates one egress port's counters.
+type SwitchPortStats = switchsim.PortStats
+
+// ScenarioScale is a run-size preset: quick (smoke), full (the spec as
+// written), or paper (evaluation scale).
+type ScenarioScale = scenario.Scale
+
+// Run-size presets.
+const (
+	ScenarioQuick = scenario.ScaleQuick
+	ScenarioFull  = scenario.ScaleFull
+	ScenarioPaper = scenario.ScalePaper
+)
 
 // Scenario is a registry entry: a spec plus optional scale hooks.
 type Scenario = scenario.Scenario
@@ -312,6 +341,14 @@ const (
 
 // RunScenario assembles and executes one declarative scenario.
 func RunScenario(spec ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(spec) }
+
+// LoadScenarioSpec reads and strictly validates a JSON spec file
+// (unknown fields are rejected). Specs are data: save one with
+// ScenarioSpec.Save, share the file, run it anywhere.
+func LoadScenarioSpec(path string) (ScenarioSpec, error) { return scenario.LoadSpec(path) }
+
+// ParseScenarioSpec decodes and strictly validates a JSON spec.
+func ParseScenarioSpec(data []byte) (ScenarioSpec, error) { return scenario.ParseSpec(data) }
 
 // RunScenarioSweep cross-products the axes over the spec and runs the
 // grid concurrently with deterministic, input-ordered rows.
