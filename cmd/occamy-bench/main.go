@@ -13,12 +13,18 @@
 // 1x their ns/op is a real multi-hundred-millisecond measurement, while
 // micro benchmarks need a real -benchtime to be comparable).
 //
+// With -history it does not benchmark at all: it loads every committed
+// snapshot matching a glob and renders the ns/op and events/sec
+// trajectory of each benchmark across them as a sparkline table — the
+// repository's performance history at a glance.
+//
 // Usage:
 //
 //	occamy-bench                          # full suite, 1x iterations, BENCH_<today>.json
 //	occamy-bench -bench 'Engine|Switch'   # only the core micro-benchmarks
 //	occamy-bench -benchtime 2s -o out.json
 //	occamy-bench -bench Fig -against BENCH_2026-07-30.json -tol 0.20
+//	occamy-bench -history 'BENCH_*.json'  # trajectory across snapshots
 package main
 
 import (
@@ -29,10 +35,14 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"occamy/internal/trace"
 )
 
 // Result is one benchmark's parsed output line.
@@ -64,7 +74,15 @@ func main() {
 	count := flag.Int("count", 1, "go test -count: repetitions per benchmark; the snapshot keeps each benchmark's best (min ns/op) run")
 	against := flag.String("against", "", "baseline snapshot to diff ns/op against; exit non-zero on regression")
 	tol := flag.Float64("tol", 0.20, "allowed fractional ns/op regression vs -against (0.20 = +20%)")
+	historyGlob := flag.String("history", "", "snapshot glob (e.g. 'BENCH_*.json'): render the ns/op + events/sec trajectory across them instead of benchmarking")
 	flag.Parse()
+
+	if *historyGlob != "" {
+		if !history(*historyGlob) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	pkgList := strings.Split(*pkgs, ",")
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
@@ -199,6 +217,114 @@ func compare(snap Snapshot, baselinePath string, tol float64) bool {
 		return false
 	}
 	fmt.Printf("all %d common benchmarks within tolerance\n", common)
+	return true
+}
+
+// history loads every snapshot matching the glob, orders them by their
+// recorded date (filename breaking ties), and renders each benchmark's
+// ns/op and events/sec trajectory across them as sparkline rows.
+func history(pattern string) bool {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "occamy-bench: bad -history glob: %v\n", err)
+		return false
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "occamy-bench: no snapshots match %q\n", pattern)
+		return false
+	}
+	type snapFile struct {
+		path string
+		snap Snapshot
+	}
+	snaps := make([]snapFile, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "occamy-bench: %v\n", err)
+			return false
+		}
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			fmt.Fprintf(os.Stderr, "occamy-bench: parsing %s: %v\n", p, err)
+			return false
+		}
+		snaps = append(snaps, snapFile{p, s})
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].snap.Date != snaps[j].snap.Date {
+			return snaps[i].snap.Date < snaps[j].snap.Date
+		}
+		return snaps[i].path < snaps[j].path
+	})
+
+	fmt.Printf("bench trajectory across %d snapshots:\n", len(snaps))
+	for i, sf := range snaps {
+		fmt.Printf("  [%d] %-28s %s  %s %s/%s  %d cpu  -bench %q -benchtime %s\n",
+			i, sf.path, sf.snap.Date, sf.snap.GoVersion, sf.snap.GOOS, sf.snap.GOARCH,
+			sf.snap.NumCPU, sf.snap.Bench, sf.snap.BenchTime)
+	}
+	fmt.Println()
+
+	// Union of benchmark names, sorted; each row charts the snapshots
+	// that measured it (gaps are simply skipped).
+	nameSet := map[string]bool{}
+	nameW := len("benchmark")
+	for _, sf := range snaps {
+		for _, r := range sf.snap.Results {
+			if !nameSet[r.Name] {
+				nameSet[r.Name] = true
+				if len(r.Name) > nameW {
+					nameW = len(r.Name)
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	metricRow := func(name, metric string) (vals []float64, ok bool) {
+		for _, sf := range snaps {
+			for _, r := range sf.snap.Results {
+				if r.Name != name {
+					continue
+				}
+				if v, has := r.Metrics[metric]; has && v > 0 {
+					vals = append(vals, v)
+				}
+				break
+			}
+		}
+		return vals, len(vals) > 0
+	}
+	span := func(vals []float64) string {
+		first, last := vals[0], vals[len(vals)-1]
+		return fmt.Sprintf("%12.4g -> %12.4g  %+6.1f%%", first, last, (last/first-1)*100)
+	}
+
+	sparkW := len(snaps)
+	if sparkW < 8 {
+		sparkW = 8 // pad short histories so the columns line up
+	}
+	fmt.Printf("%-*s  %-*s %-38s  %-*s %s\n", nameW, "benchmark",
+		sparkW, "ns/op", "first -> last      delta", sparkW, "ev/s", "first -> last      delta")
+	for _, name := range names {
+		fmt.Printf("%-*s  ", nameW, name)
+		if ns, ok := metricRow(name, "ns/op"); ok {
+			fmt.Printf("%-*s %-38s", sparkW, trace.Sparkline(ns, sparkW), span(ns))
+		} else {
+			fmt.Printf("%-*s %-38s", sparkW, "-", "-")
+		}
+		if ev, ok := metricRow(name, "events/sec"); ok {
+			fmt.Printf("  %-*s %s", sparkW, trace.Sparkline(ev, sparkW), span(ev))
+		} else {
+			fmt.Printf("  %-*s %s", sparkW, "-", "-")
+		}
+		fmt.Println()
+	}
 	return true
 }
 

@@ -24,10 +24,13 @@
 // Sweeps cross-product every -sweep axis and fan the grid points across
 // a worker pool (-j, default GOMAXPROCS); tables are byte-identical at
 // any parallelism. -set applies a single value before running. -deep
-// appends the tail-quantile and per-switch breakdown tables to a single
-// run; -trace dumps the per-switch occupancy time series as CSV and
-// prints sparklines. Any spec field is addressable: see SCENARIOS.md
-// for the schema and `occamy-scenario metrics` for selectable columns.
+// appends the tail-quantile, per-switch, and per-queue breakdown tables
+// to a single run; -trace dumps the occupancy time series — whole-switch
+// plus every (port, class) queue with the admission policy's threshold
+// sampled alongside — as CSV, and prints sparklines including
+// occupancy-vs-threshold overlays for the hottest queues. Any spec
+// field is addressable: see SCENARIOS.md for the schema and
+// `occamy-scenario metrics` for selectable columns.
 package main
 
 import (
@@ -237,7 +240,7 @@ func runSpec(spec scenario.Spec, name string, sweeps, sets []string, deep bool, 
 	}
 	tabs := []*scenario.Table{res.Table()}
 	if deep {
-		tabs = append(tabs, res.TailTable(), res.PerSwitchTable())
+		tabs = append(tabs, res.TailTable(), res.PerSwitchTable(), res.QueueTable())
 	}
 	printTables(tabs)
 	if traceOut != "" {
@@ -251,8 +254,17 @@ func runSpec(spec scenario.Spec, name string, sweeps, sets []string, deep bool, 
 		if err := f.Close(); err != nil {
 			fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("occupancy trace (%d samples every %v, CSV in %s):\n%s\n",
-			len(res.Telemetry[0].Series), res.SampleEvery, traceOut, res.TracePlot(72))
+		plot, err := res.TracePlot(72)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("occupancy trace (%d samples every %v, per-queue series + thresholds in %s):\n%s\n",
+			len(res.Telemetry[0].Series), res.SampleEvery, traceOut, plot)
+		qplot, err := res.QueueTracePlot(72, 8)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("hottest queues vs policy threshold (Fig 3/11-style overlay):\n%s\n", qplot)
 	}
 	fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 }

@@ -169,6 +169,10 @@ func NewEngine(tm TM, cfg Config) *Engine {
 // Stats returns a snapshot of the expulsion counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Config returns the engine's resolved configuration (with the derived
+// token rate and defaulted burst filled in).
+func (e *Engine) Config() Config { return e.cfg }
+
 // Tokens returns the current token balance in cells (may be negative:
 // the output scheduler always wins the bandwidth arbitration and may
 // overdraw).

@@ -164,6 +164,7 @@ func buildNetwork(spec Spec) (*netsim.Network, []*sim.Ticker) {
 		CellBytes:         t.CellBytes,
 		ECNThresholdBytes: t.ECNThresholdBytes,
 		Scheduler:         sched,
+		DRRQuantum:        t.DRRQuantum,
 	}
 
 	var net *netsim.Network
@@ -494,6 +495,7 @@ func runRaw(spec Spec) (*Result, error) {
 		Occamy:            occ,
 		ECNThresholdBytes: t.ECNThresholdBytes,
 		Scheduler:         sched,
+		DRRQuantum:        t.DRRQuantum,
 	})
 	pool := pkt.NewPool()
 	for i := 0; i < t.Hosts; i++ {

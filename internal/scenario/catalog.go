@@ -227,6 +227,82 @@ func init() {
 		Duration: 24 * sim.Millisecond,
 	}})
 
+	// --- New: four-class priority inversion under strict priority ----
+	// Eight lowest-class hostage flows pin the buffer while two mid-class
+	// background mixes run and a top-class incast queries through: the
+	// per-queue telemetry shows each class's queues riding (or blowing
+	// through) their own α threshold. Sweep policy.kind=dt,occamy to see
+	// expulsion reclaim the hostage over-allocation class by class.
+	Register(Scenario{Spec: Spec{
+		Name:  "priority-inversion-8",
+		Title: "4-class SP: 8 LP hostages + 2 mid-class mixes + HP incast (512KB)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 8, LinkBps: 10e9,
+			BufferBytes: 512 << 10, ECNThresholdBytes: 200 << 10,
+			Classes: 4, Scheduler: "sp",
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8, AlphaHP: 8, AlphaLP: 1},
+		Workloads: []Workload{
+			{Kind: WLLongLived, Label: "hostages", Count: 8, Priority: 3, Client: 0, DupThresh: 3},
+			{Kind: WLBackground, Label: "websearch", Load: 0.25, Priority: 1},
+			{Kind: WLBackground, Label: "cache", Dist: "cache", Load: 0.25, Priority: 2},
+			{Kind: WLIncast, Client: 0, Servers: 5, Fanout: 20,
+				QuerySize: 600_000, Priority: 0, DupThresh: 3, Queries: 6},
+		},
+		Warmup:   5 * sim.Millisecond,
+		Duration: 40 * sim.Millisecond,
+		Metrics: []string{"policy", "qct_avg_ms", "qct_p99_ms", "rtos",
+			"bg_avg_fct_ms", "drops", "expelled", "hot_queue",
+			"hot_queue_peak_pct", "min_thr_headroom_pct"},
+	}})
+
+	// --- New: three-class incast over a DRR mix ----------------------
+	// Web-search and cache-follower backgrounds each own a class, the
+	// gating incast a third, with DRR sharing the ports fairly: per-queue
+	// traces separate the per-class backlogs that whole-port occupancy
+	// blurs together.
+	Register(Scenario{Spec: Spec{
+		Name:  "mixed-class-incast",
+		Title: "3-class DRR: websearch + cache classes under a gating incast (16 hosts)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 16, LinkBps: 10e9,
+			Classes: 3, Scheduler: "drr", DRRQuantum: 3 * 1514,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLBackground, Label: "websearch", Load: 0.3, Priority: 0},
+			{Kind: WLBackground, Label: "cache", Dist: "cache", Load: 0.3, Priority: 1},
+			{Kind: WLIncast, Client: 0, QuerySize: 500_000, Priority: 2, Queries: 10},
+		},
+		Duration: 60 * sim.Millisecond,
+		Metrics: []string{"policy", "qct_avg_ms", "qct_p99_ms", "rtos",
+			"bg_avg_fct_ms", "drops", "expelled", "ecn_marked",
+			"hot_queue", "hot_queue_peak_pct", "min_thr_headroom_pct"},
+	}})
+
+	// --- New: two-class bursty collective on a fabric ----------------
+	// On/off all-reduce rounds in the low class with random-client incast
+	// queries in the high class, DRR on every leaf and spine: multi-class
+	// queue telemetry on a fabric, where each switch's (port, class)
+	// series evolve against per-switch thresholds.
+	Register(Scenario{Spec: Spec{
+		Name:  "multiclass-fabric-drr",
+		Title: "leaf-spine 2-class DRR: bursty all-reduce (LP) + incast queries (HP)",
+		Topology: Topology{
+			Kind: LeafSpine, Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+			LinkBps: 10e9, Classes: 2, Scheduler: "drr",
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Workloads: []Workload{
+			{Kind: WLAllReduce, FlowSize: 262_144, Load: 0.8, Priority: 1,
+				OnTime: 1500 * sim.Microsecond, OffTime: 1500 * sim.Microsecond},
+			{Kind: WLIncast, Client: -1, Fanout: 8, QuerySize: 150_000, Priority: 0,
+				Interval: 2 * sim.Millisecond, Queries: 12},
+		},
+		Warmup:   sim.Millisecond,
+		Duration: 24 * sim.Millisecond,
+	}})
+
 	// --- New: rotating permutation stress ----------------------------
 	// Every host sends 1MB to a stride-rotated peer at 95% load: no
 	// fan-in anywhere, so drops and slowdowns expose pure buffer-policy

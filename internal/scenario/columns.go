@@ -170,12 +170,7 @@ var columnFuncs = map[string]func(*Result) string{
 	"expelled":     func(r *Result) string { return fmt.Sprint(r.Total.DropsExpelled) },
 	"ecn_marked":   func(r *Result) string { return fmt.Sprint(r.Total.ECNMarked) },
 	"burst_loss":   func(r *Result) string { return experiments.F(r.burstLoss()) },
-	"max_occ_pct": func(r *Result) string {
-		if r.BufferBytes == 0 {
-			return "0"
-		}
-		return experiments.F(100 * float64(r.MaxOccupancy) / float64(r.BufferBytes))
-	},
+	"max_occ_pct":  func(r *Result) string { return r.occPct(float64(r.MaxOccupancy)) },
 	"mean_occ_pct": func(r *Result) string {
 		if len(r.Telemetry) == 0 {
 			return "-"
@@ -199,6 +194,45 @@ var columnFuncs = map[string]func(*Result) string{
 			return "-"
 		}
 		return r.occPct(float64(peak))
+	},
+	"hot_queue": func(r *Result) string {
+		sw, q, _ := r.HottestQueue()
+		if sw < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%s:%s", r.Telemetry[sw].Name, r.Telemetry[sw].Queues[q].Label())
+	},
+	"hot_queue_peak_pct": func(r *Result) string {
+		sw, _, peak := r.HottestQueue()
+		if sw < 0 {
+			return "-"
+		}
+		return r.occPct(float64(peak))
+	},
+	"hot_queue_mean_pct": func(r *Result) string {
+		sw, q, _ := r.HottestQueue()
+		if sw < 0 {
+			return "-"
+		}
+		return r.occPct(r.Telemetry[sw].Queues[q].Mean)
+	},
+	"min_thr_headroom_pct": func(r *Result) string {
+		min, found := 0, false
+		for i := range r.Telemetry {
+			for q := range r.Telemetry[i].Queues {
+				qt := &r.Telemetry[i].Queues[q]
+				if len(qt.Series) == 0 {
+					continue
+				}
+				if !found || qt.MinHeadroom < min {
+					min, found = qt.MinHeadroom, true
+				}
+			}
+		}
+		if !found {
+			return "-"
+		}
+		return r.signedOccPct(float64(min))
 	},
 	"switches": func(r *Result) string { return fmt.Sprint(len(r.PerSwitch)) },
 }

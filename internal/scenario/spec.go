@@ -102,6 +102,9 @@ type Topology struct {
 	// Scheduler is the per-port discipline across classes:
 	// "fifo" (default), "drr", or "sp".
 	Scheduler string `json:"scheduler,omitempty"`
+	// DRRQuantum is the deficit-round-robin credit per visit in bytes
+	// ("drr" only; default 2×1514).
+	DRRQuantum int `json:"drr_quantum,omitempty"`
 
 	// ECNThresholdBytes fixes the marking point. When zero it defaults to
 	// 65 MTUs on a single switch and ECNThresholdFrac×BDP (default 0.72)
@@ -398,7 +401,8 @@ func (s Spec) Validate() error {
 	if t.Hosts < 0 || t.Spines < 0 || t.Leaves < 0 || t.HostsPerLeaf < 0 ||
 		t.LinkBps < 0 || t.SpineLinkBps < 0 || t.LinkDelay < 0 ||
 		t.BufferBytes < 0 || t.BufferKBPerPortPerGbps < 0 || t.CellBytes < 0 ||
-		t.Classes < 0 || t.ECNThresholdBytes < 0 || t.ECNThresholdFrac < 0 {
+		t.Classes < 0 || t.DRRQuantum < 0 ||
+		t.ECNThresholdBytes < 0 || t.ECNThresholdFrac < 0 {
 		return fmt.Errorf("scenario %q: negative topology field", s.Name)
 	}
 	if s.Duration < 0 || s.Warmup < 0 {

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"occamy/internal/experiments"
 	"occamy/internal/metrics"
@@ -14,18 +15,44 @@ import (
 //
 // The summary row answers "which policy wins"; the tables here answer
 // "why": TailTable breaks each workload's completion times into
-// quantiles (p25..p999) overall and per flow-size bucket, and
-// PerSwitchTable breaks the buffer dynamics down switch by switch and
-// port by port. Both render from the Result alone, so sweeps and
-// file-based runs get them for free (occamy-scenario run -deep), and
-// the occupancy time series behind them dumps to CSV/sparklines with
-// -trace.
+// quantiles (p25..p999) overall and per flow-size bucket, PerSwitchTable
+// breaks the buffer dynamics down switch by switch and port by port, and
+// QueueTable goes one level further, to the (port, class) queues with
+// the admission policy's threshold sampled alongside — the view behind
+// the paper's Fig 3/11-style occupancy-vs-threshold narratives. All
+// render from the Result alone, so sweeps and file-based runs get them
+// for free (occamy-scenario run -deep), and the time series behind them
+// dump to CSV/sparklines with -trace.
+
+// QueueTelemetry is one (port, class) queue's recorded dynamics.
+type QueueTelemetry struct {
+	// Port and Class locate the queue on its switch.
+	Port, Class int
+	// Peak/Mean are the sampled queue-length extremes in bytes.
+	Peak int
+	Mean float64
+	// MinHeadroom is the smallest sampled gap between the policy
+	// threshold (capacity-clamped) and the queue length, in bytes —
+	// negative while the queue sat over its threshold (the
+	// over-allocation a preemptive policy expels).
+	MinHeadroom int
+	// Series is the sampled queue length in bytes; Threshold the
+	// admission policy's instantaneous limit for this queue at the same
+	// instants, clamped to the buffer capacity.
+	Series    []float64
+	Threshold []float64
+}
+
+// Label renders the queue's position as "p<port>q<class>".
+func (q *QueueTelemetry) Label() string { return fmt.Sprintf("p%dq%d", q.Port, q.Class) }
 
 // SwitchTelemetry is one switch's recorded dynamics: egress counters
-// per port plus the sampled occupancy series and its per-port
-// peaks/means.
+// per port plus the sampled occupancy series and its per-port and
+// per-queue breakdowns.
 type SwitchTelemetry struct {
 	Name string
+	// Classes is the number of traffic-class queues per port.
+	Classes int
 	// Ports holds the per-port egress counters; they sum to the
 	// corresponding PerSwitch stats fields exactly.
 	Ports []switchsim.PortStats
@@ -36,25 +63,43 @@ type SwitchTelemetry struct {
 	PortPeak []int
 	PortMean []float64
 	// Series is the sampled whole-switch occupancy in bytes, one entry
-	// per SampleEvery tick.
-	Series []float64
+	// per SampleEvery tick; PortSeries the per-port equivalent.
+	Series     []float64
+	PortSeries [][]float64
+	// Queues holds the per-(port,class) series with thresholds, indexed
+	// port*Classes+class.
+	Queues []QueueTelemetry
 }
 
 // newTelemetry distills a recorder into the result's telemetry entry.
 func newTelemetry(sw *switchsim.Switch, rec *switchsim.Recorder) SwitchTelemetry {
 	t := SwitchTelemetry{
-		Name:     sw.Name(),
-		Ports:    make([]switchsim.PortStats, sw.NumPorts()),
-		PeakOcc:  rec.Peak(),
-		MeanOcc:  rec.Mean(),
-		PortPeak: make([]int, sw.NumPorts()),
-		PortMean: make([]float64, sw.NumPorts()),
-		Series:   rec.Series,
+		Name:       sw.Name(),
+		Classes:    sw.ClassesPerPort(),
+		Ports:      make([]switchsim.PortStats, sw.NumPorts()),
+		PeakOcc:    rec.Peak(),
+		MeanOcc:    rec.Mean(),
+		PortPeak:   make([]int, sw.NumPorts()),
+		PortMean:   make([]float64, sw.NumPorts()),
+		Series:     rec.Series,
+		PortSeries: rec.PortSeries,
+		Queues:     make([]QueueTelemetry, sw.NumQueues()),
 	}
 	for i := 0; i < sw.NumPorts(); i++ {
 		t.Ports[i] = sw.PortStats(i)
 		t.PortPeak[i] = rec.PortPeak(i)
 		t.PortMean[i] = rec.PortMean(i)
+	}
+	for q := 0; q < sw.NumQueues(); q++ {
+		t.Queues[q] = QueueTelemetry{
+			Port:        q / t.Classes,
+			Class:       q % t.Classes,
+			Peak:        rec.QueuePeak(q),
+			Mean:        rec.QueueMean(q),
+			MinHeadroom: rec.QueueMinHeadroom(q),
+			Series:      rec.QueueSeries[q],
+			Threshold:   rec.ThresholdSeries[q],
+		}
 	}
 	return t
 }
@@ -72,6 +117,19 @@ func (t *SwitchTelemetry) HottestPort() (port, peak int) {
 	return port, peak
 }
 
+// HottestQueue returns the index into Queues of the queue with the
+// highest length peak (ties to the lowest index) and that peak in
+// bytes; (-1, 0) when the switch has no queues.
+func (t *SwitchTelemetry) HottestQueue() (idx, peak int) {
+	idx = -1
+	for q := range t.Queues {
+		if t.Queues[q].Peak > peak || idx < 0 {
+			idx, peak = q, t.Queues[q].Peak
+		}
+	}
+	return idx, peak
+}
+
 // HottestPort returns the (switch, port) with the highest sampled
 // per-port occupancy peak across the run, with that peak in bytes;
 // (-1, -1, 0) when nothing was recorded.
@@ -85,10 +143,36 @@ func (r *Result) HottestPort() (sw, port, peak int) {
 	return sw, port, peak
 }
 
-// occPct renders an occupancy byte count as percent of buffer capacity.
+// HottestQueue returns the switch index and queue (within that switch's
+// Queues) with the highest sampled length peak across the run, with the
+// peak in bytes; (-1, -1, 0) when nothing was recorded.
+func (r *Result) HottestQueue() (sw, queue, peak int) {
+	sw, queue = -1, -1
+	for i := range r.Telemetry {
+		if q, pk := r.Telemetry[i].HottestQueue(); pk > peak {
+			sw, queue, peak = i, q, pk
+		}
+	}
+	return sw, queue, peak
+}
+
+// occPct renders an occupancy byte count as percent of buffer capacity,
+// or "-" when the run has no buffer to be a percentage of.
 func (r *Result) occPct(bytes float64) string {
 	if r.BufferBytes == 0 {
-		return "0"
+		return "-"
+	}
+	return experiments.F(100 * bytes / float64(r.BufferBytes))
+}
+
+// signedOccPct is occPct for quantities that may be negative (threshold
+// headroom): experiments.F formats magnitudes, so the sign is prefixed.
+func (r *Result) signedOccPct(bytes float64) string {
+	if r.BufferBytes == 0 {
+		return "-"
+	}
+	if bytes < 0 {
+		return "-" + experiments.F(100*-bytes/float64(r.BufferBytes))
 	}
 	return experiments.F(100 * bytes / float64(r.BufferBytes))
 }
@@ -160,11 +244,41 @@ func (r *Result) PerSwitchTable() *experiments.Table {
 	for i, st := range r.PerSwitch {
 		tel := r.Telemetry[i]
 		hot, hotPeak := tel.HottestPort()
+		hotCell, hotPeakCell := "-", "-"
+		if hot >= 0 {
+			hotCell, hotPeakCell = fmt.Sprint(hot), r.occPct(float64(hotPeak))
+		}
 		t.AddRow(tel.Name,
 			fmt.Sprint(st.RxPackets), fmt.Sprint(st.TxPackets),
 			fmt.Sprint(st.Drops()), fmt.Sprint(st.DropsExpelled), fmt.Sprint(st.ECNMarked),
 			r.occPct(float64(tel.PeakOcc)), r.occPct(tel.MeanOcc),
-			fmt.Sprint(hot), r.occPct(float64(hotPeak)))
+			hotCell, hotPeakCell)
+	}
+	return t
+}
+
+// QueueTable renders the per-queue buffer dynamics of every switch: the
+// sampled length peak/mean and the minimum threshold headroom (how
+// close the queue came to its admission limit; negative = over it) for
+// every queue that buffered anything during the run.
+func (r *Result) QueueTable() *experiments.Table {
+	t := &experiments.Table{
+		ID:    r.Spec.Name + "-queues",
+		Title: "per-queue buffer dynamics (queues with traffic)",
+		Columns: []string{"switch", "queue", "class",
+			"peak_occ_pct", "mean_occ_pct", "min_thr_headroom_pct"},
+	}
+	for i := range r.Telemetry {
+		tel := &r.Telemetry[i]
+		for q := range tel.Queues {
+			qt := &tel.Queues[q]
+			if qt.Peak == 0 {
+				continue
+			}
+			t.AddRow(tel.Name, qt.Label(), fmt.Sprint(qt.Class),
+				r.occPct(float64(qt.Peak)), r.occPct(qt.Mean),
+				r.signedOccPct(float64(qt.MinHeadroom)))
+		}
 	}
 	return t
 }
@@ -186,18 +300,89 @@ func (r *Result) TraceSeries() (times []float64, series []trace.Series) {
 	return times, series
 }
 
-// WriteTraceCSV dumps the per-switch occupancy series as CSV.
+// QueueTraceSeries returns the aligned per-queue series of every
+// switch: for each (port, class) queue, its occupancy series
+// ("<switch>:p<P>q<C>") immediately followed by its policy-threshold
+// series ("<switch>:p<P>q<C>:thr") — the Fig 3/11-style overlay pairs.
+func (r *Result) QueueTraceSeries() (times []float64, series []trace.Series) {
+	if len(r.Telemetry) == 0 {
+		return nil, nil
+	}
+	times = make([]float64, len(r.SampleTimes))
+	for i, t := range r.SampleTimes {
+		times[i] = t.Seconds()
+	}
+	for _, tel := range r.Telemetry {
+		for q := range tel.Queues {
+			qt := &tel.Queues[q]
+			base := tel.Name + ":" + qt.Label()
+			series = append(series,
+				trace.Series{Name: base, Values: qt.Series},
+				trace.Series{Name: base + ":thr", Values: qt.Threshold})
+		}
+	}
+	return times, series
+}
+
+// WriteTraceCSV dumps the recorded time series as CSV: one whole-switch
+// occupancy column per switch, then per-queue occupancy and threshold
+// column pairs for every queue of every switch.
 func (r *Result) WriteTraceCSV(w io.Writer) error {
 	times, series := r.TraceSeries()
 	if len(series) == 0 {
 		return fmt.Errorf("scenario %q: no occupancy trace recorded", r.Spec.Name)
 	}
-	return trace.WriteCSV(w, times, series)
+	_, qseries := r.QueueTraceSeries()
+	return trace.WriteCSV(w, times, append(series, qseries...))
 }
 
 // TracePlot renders the per-switch occupancy series as labeled
-// sparklines on a shared scale (width cells; 0 = full resolution).
-func (r *Result) TracePlot(width int) string {
+// sparklines on a shared scale (width cells; 0 = full resolution). Like
+// WriteTraceCSV it errors when the run recorded no trace.
+func (r *Result) TracePlot(width int) (string, error) {
 	_, series := r.TraceSeries()
-	return trace.Plot(series, width)
+	if len(series) == 0 {
+		return "", fmt.Errorf("scenario %q: no occupancy trace recorded", r.Spec.Name)
+	}
+	return trace.Plot(series, width), nil
+}
+
+// QueueTracePlot renders occupancy-vs-threshold overlays for the top
+// (by length peak) queues across all switches: each queue contributes
+// its occupancy sparkline and its threshold sparkline on a shared
+// scale. top bounds the queue count (0 = all queues with traffic).
+func (r *Result) QueueTracePlot(width, top int) (string, error) {
+	_, all := r.QueueTraceSeries()
+	if len(all) == 0 {
+		return "", fmt.Errorf("scenario %q: no occupancy trace recorded", r.Spec.Name)
+	}
+	type cand struct {
+		sw, q, peak int
+	}
+	var cands []cand
+	for i := range r.Telemetry {
+		for q := range r.Telemetry[i].Queues {
+			if pk := r.Telemetry[i].Queues[q].Peak; pk > 0 {
+				cands = append(cands, cand{i, q, pk})
+			}
+		}
+	}
+	// Descending peak, ties keeping switch/queue order.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].peak > cands[j].peak })
+	if top > 0 && len(cands) > top {
+		cands = cands[:top]
+	}
+	var series []trace.Series
+	for _, c := range cands {
+		tel := &r.Telemetry[c.sw]
+		qt := &tel.Queues[c.q]
+		base := tel.Name + ":" + qt.Label()
+		series = append(series,
+			trace.Series{Name: base, Values: qt.Series},
+			trace.Series{Name: base + ":thr", Values: qt.Threshold})
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("scenario %q: no queue buffered any traffic", r.Spec.Name)
+	}
+	return trace.Plot(series, width), nil
 }

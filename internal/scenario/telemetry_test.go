@@ -88,6 +88,7 @@ var deepColumns = []string{
 	"qct_p50_ms", "qct_p999_ms", "qct_p999_slow",
 	"bg_p50_fct_ms", "bg_p999_fct_ms", "bg_p99_slow", "bg_p999_slow", "small_bg_p999_slow",
 	"mean_occ_pct", "hot_port", "hot_port_peak_pct", "switches",
+	"hot_queue", "hot_queue_peak_pct", "hot_queue_mean_pct", "min_thr_headroom_pct",
 }
 
 func TestDeepColumnsSelectableEverywhere(t *testing.T) {
@@ -139,7 +140,8 @@ func TestTailColumnsOrdered(t *testing.T) {
 }
 
 // The trace dump: CSV has one aligned row per sample with one column
-// per switch, and the sparkline plot names every switch.
+// per switch plus an occupancy/threshold column pair per queue, and the
+// sparkline plots name every switch and overlay queue.
 func TestTraceOutputs(t *testing.T) {
 	sc, _ := Get("degraded-leafspine")
 	res, err := Run(sc.SpecAt(ScaleQuick))
@@ -154,19 +156,50 @@ func TestTraceOutputs(t *testing.T) {
 	if len(lines) != len(res.Telemetry[0].Series)+1 {
 		t.Fatalf("CSV has %d lines for %d samples", len(lines), len(res.Telemetry[0].Series))
 	}
+	queues := 0
+	for i := range res.Telemetry {
+		queues += len(res.Telemetry[i].Queues)
+	}
 	header := strings.Split(lines[0], ",")
-	if header[0] != "time_s" || len(header) != len(res.Telemetry)+1 {
-		t.Fatalf("CSV header %v for %d switches", header, len(res.Telemetry))
+	if header[0] != "time_s" || len(header) != 1+len(res.Telemetry)+2*queues {
+		t.Fatalf("CSV header has %d columns for %d switches and %d queues", len(header), len(res.Telemetry), queues)
+	}
+	// Each queue column is immediately followed by its threshold column.
+	for i, col := range header {
+		if strings.HasSuffix(col, ":thr") && header[i-1]+":thr" != col {
+			t.Errorf("threshold column %q not paired with its queue column (%q precedes)", col, header[i-1])
+		}
 	}
 	for _, l := range lines[1:] {
 		if got := len(strings.Split(l, ",")); got != len(header) {
 			t.Fatalf("ragged CSV row %q", l)
 		}
 	}
-	plot := res.TracePlot(40)
+	plot, err := res.TracePlot(40)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range res.Telemetry {
 		if !strings.Contains(plot, res.Telemetry[i].Name) {
 			t.Errorf("plot missing switch %s:\n%s", res.Telemetry[i].Name, plot)
 		}
+	}
+	qplot, err := res.QueueTracePlot(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qplot, ":thr") {
+		t.Errorf("queue overlay plot has no threshold series:\n%s", qplot)
+	}
+	// An empty result errors from all three trace surfaces alike.
+	empty := &Result{Spec: Spec{Name: "empty"}}
+	if err := empty.WriteTraceCSV(&strings.Builder{}); err == nil {
+		t.Error("WriteTraceCSV on an empty result did not error")
+	}
+	if _, err := empty.TracePlot(40); err == nil {
+		t.Error("TracePlot on an empty result did not error")
+	}
+	if _, err := empty.QueueTracePlot(40, 0); err == nil {
+		t.Error("QueueTracePlot on an empty result did not error")
 	}
 }

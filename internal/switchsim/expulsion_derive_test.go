@@ -1,0 +1,104 @@
+package switchsim
+
+import (
+	"testing"
+
+	"occamy/internal/core"
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+)
+
+// Regression for the AttachPort re-derivation bug: the expulsion engine
+// used to be rebuilt on *every* attach, each intermediate instance
+// computing its token rate from only the ports wired so far and then
+// being discarded (state and all). It must now be derived exactly once,
+// on first use, with the token rate reflecting every attached port.
+func TestExpulsionEngineDerivedOnceWithFullTokenRate(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := New("sw", eng, Config{
+		Ports: 4, ClassesPerPort: 1, BufferBytes: 100_000, CellBytes: 200,
+		Policy: core.New(core.Config{Alpha: 1}),
+		Occamy: &core.Config{Alpha: 1},
+	})
+	// Heterogeneous rates: a token rate derived from a prefix of the
+	// ports is distinguishable from the full aggregate.
+	rates := []float64{10e9, 40e9, 10e9, 100e9}
+	total := 0.0
+	for i, r := range rates {
+		sw.AttachPort(i, r, 0, func(*pkt.Packet) {})
+		total += r
+	}
+	sw.SetRouter(func(p *pkt.Packet) int { return int(p.Dst) })
+
+	// First use finalizes the engine with the aggregate memory bandwidth.
+	sw.Receive(mkpkt(0, 1000, 0))
+	e := sw.Expulsion()
+	if e == nil {
+		t.Fatal("no expulsion engine after first Receive")
+	}
+	want := total / 8 / 200
+	if got := e.Config().TokenRate; got != want {
+		t.Fatalf("TokenRate %g, want %g (aggregate of all %d ports)", got, want, len(rates))
+	}
+
+	// Idempotent: later traffic and later Expulsion calls see the same
+	// engine instance, so no expulsion stats or token state can leak
+	// into a discarded copy.
+	before := e.Stats().Passes
+	for i := 0; i < 50; i++ {
+		sw.Receive(mkpkt(pkt.NodeID(i%4), 1000, 0))
+		eng.RunFor(sim.Microsecond)
+	}
+	if sw.Expulsion() != e {
+		t.Fatal("expulsion engine was rebuilt after first use")
+	}
+	if e.Stats().Passes < before {
+		t.Fatal("expulsion stats went backwards")
+	}
+
+	// Wiring after finalization is a bug the switch now refuses loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AttachPort after engine finalization did not panic")
+		}
+	}()
+	sw.AttachPort(0, 10e9, 0, func(*pkt.Packet) {})
+}
+
+// An explicit TokenRate in the config must pass through untouched, and
+// Expulsion() itself (not only traffic) finalizes the engine.
+func TestExpulsionExplicitTokenRate(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := New("sw", eng, Config{
+		Ports: 2, ClassesPerPort: 1, BufferBytes: 100_000,
+		Policy: core.New(core.Config{Alpha: 1}),
+		Occamy: &core.Config{Alpha: 1, TokenRate: 12345},
+	})
+	for i := 0; i < 2; i++ {
+		sw.AttachPort(i, 10e9, 0, func(*pkt.Packet) {})
+	}
+	e := sw.Expulsion()
+	if e == nil {
+		t.Fatal("Expulsion did not finalize the engine")
+	}
+	if got := e.Config().TokenRate; got != 12345 {
+		t.Fatalf("TokenRate %g, want the configured 12345", got)
+	}
+	if sw.Expulsion() != e {
+		t.Fatal("second Expulsion call returned a different engine")
+	}
+}
+
+// A switch without an Occamy config never grows an engine.
+func TestNoExpulsionWithoutConfig(t *testing.T) {
+	eng := sim.NewEngine()
+	sw, _ := testSwitch(t, eng, Config{
+		Ports: 1, ClassesPerPort: 1, BufferBytes: 100_000,
+		Policy: core.New(core.Config{Alpha: 1}),
+	}, 1e9)
+	sw.Receive(mkpkt(0, 1000, 0))
+	eng.Run()
+	if sw.Expulsion() != nil {
+		t.Fatal("engine derived without an Occamy config")
+	}
+}

@@ -1,13 +1,20 @@
 package switchsim
 
-import "occamy/internal/sim"
+import (
+	"math"
+
+	"occamy/internal/sim"
+)
 
 // Recorder tracks one switch's shared-buffer occupancy dynamics over a
-// run: the whole-switch occupancy time series (for trace dumps and
-// sparklines) plus peak/mean occupancy per switch and per egress port.
-// The caller drives it — typically one scenario-level ticker calls
-// Sample on every recorder at a fixed period, so the samples of all
-// switches in a fabric are aligned in time.
+// run, at three depths: the whole-switch occupancy time series, the
+// per-port occupancy series, and — one level further down — the
+// per-(port,class) queue series with the admission policy's threshold
+// sampled alongside (the Fig 3/11-style occupancy-vs-threshold view).
+// Peaks and means are kept per switch, per port, and per queue. The
+// caller drives it — typically one scenario-level ticker calls Sample
+// on every recorder at a fixed period, so the samples of all switches
+// in a fabric are aligned in time.
 type Recorder struct {
 	sw *Switch
 
@@ -15,28 +22,52 @@ type Recorder struct {
 	// Sample call; Times holds the matching timestamps.
 	Series []float64
 	Times  []sim.Time
+	// PortSeries[i] is port i's occupancy in bytes at the same instants.
+	PortSeries [][]float64
+	// QueueSeries[q] is queue q's length in bytes (flat index
+	// port*ClassesPerPort+class); ThresholdSeries[q] is the admission
+	// policy's instantaneous limit for q at the same instants, clamped
+	// to the buffer capacity (unbounded policies report Capacity, and a
+	// DT threshold over an empty buffer can exceed it many times over —
+	// the clamp keeps the overlay on the occupancy scale).
+	QueueSeries     [][]float64
+	ThresholdSeries [][]float64
 
-	peak     int
-	sum      float64
-	portPeak []int
-	portSum  []float64
-	n        int
+	peak        int
+	sum         float64
+	portPeak    []int
+	portSum     []float64
+	queuePeak   []int
+	queueSum    []float64
+	minHeadroom []int
+	n           int
 }
 
 // NewRecorder attaches a recorder to a switch.
 func NewRecorder(sw *Switch) *Recorder {
-	return &Recorder{
-		sw:       sw,
-		portPeak: make([]int, sw.NumPorts()),
-		portSum:  make([]float64, sw.NumPorts()),
+	r := &Recorder{
+		sw:              sw,
+		PortSeries:      make([][]float64, sw.NumPorts()),
+		QueueSeries:     make([][]float64, sw.NumQueues()),
+		ThresholdSeries: make([][]float64, sw.NumQueues()),
+		portPeak:        make([]int, sw.NumPorts()),
+		portSum:         make([]float64, sw.NumPorts()),
+		queuePeak:       make([]int, sw.NumQueues()),
+		queueSum:        make([]float64, sw.NumQueues()),
+		minHeadroom:     make([]int, sw.NumQueues()),
 	}
+	for q := range r.minHeadroom {
+		r.minHeadroom[q] = math.MaxInt
+	}
+	return r
 }
 
 // Switch returns the recorded switch.
 func (r *Recorder) Switch() *Switch { return r.sw }
 
-// Sample records the switch's current occupancy (whole-switch and
-// per-port) at the given timestamp.
+// Sample records the switch's current occupancy (whole-switch,
+// per-port, and per-queue with the policy threshold) at the given
+// timestamp.
 func (r *Recorder) Sample(now sim.Time) {
 	occ := r.sw.Occupancy()
 	r.Series = append(r.Series, float64(occ))
@@ -47,10 +78,28 @@ func (r *Recorder) Sample(now sim.Time) {
 	r.sum += float64(occ)
 	for i := range r.portPeak {
 		p := r.sw.PortOccupancy(i)
+		r.PortSeries[i] = append(r.PortSeries[i], float64(p))
 		if p > r.portPeak[i] {
 			r.portPeak[i] = p
 		}
 		r.portSum[i] += float64(p)
+	}
+	capacity := r.sw.Capacity()
+	for q := range r.queuePeak {
+		l := r.sw.QueueLen(q)
+		thr := r.sw.Threshold(q)
+		if thr > capacity {
+			thr = capacity
+		}
+		r.QueueSeries[q] = append(r.QueueSeries[q], float64(l))
+		r.ThresholdSeries[q] = append(r.ThresholdSeries[q], float64(thr))
+		if l > r.queuePeak[q] {
+			r.queuePeak[q] = l
+		}
+		r.queueSum[q] += float64(l)
+		if h := thr - l; h < r.minHeadroom[q] {
+			r.minHeadroom[q] = h
+		}
 	}
 	r.n++
 }
@@ -80,3 +129,24 @@ func (r *Recorder) PortMean(i int) float64 {
 	return r.portSum[i] / float64(r.n)
 }
 
+// QueuePeak returns the highest sampled length of queue q in bytes.
+func (r *Recorder) QueuePeak(q int) int { return r.queuePeak[q] }
+
+// QueueMean returns the average sampled length of queue q in bytes.
+func (r *Recorder) QueueMean(q int) float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.queueSum[q] / float64(r.n)
+}
+
+// QueueMinHeadroom returns the smallest sampled gap between the policy
+// threshold (capacity-clamped) and queue q's length, in bytes. Negative
+// while the queue sat over its threshold — exactly the over-allocation
+// a preemptive policy expels. Zero before any sample.
+func (r *Recorder) QueueMinHeadroom(q int) int {
+	if r.n == 0 {
+		return 0
+	}
+	return r.minHeadroom[q]
+}

@@ -107,3 +107,82 @@ func TestRecorderAggregates(t *testing.T) {
 		}
 	}
 }
+
+// Per-queue sampling: at every instant the queue series of a port sum
+// to its port series and the port series to the switch series; the
+// threshold is sampled alongside, clamped to capacity; and the queue
+// aggregates match their own series.
+func TestRecorderQueueSeries(t *testing.T) {
+	eng := sim.NewEngine()
+	sw, _ := testSwitch(t, eng, Config{
+		Ports: 3, ClassesPerPort: 2, BufferBytes: 30_000,
+		Policy: bm.NewDT(1), Scheduler: SchedDRR,
+	}, 1e9)
+	rec := NewRecorder(sw)
+	tick := eng.Every(0, 5*sim.Microsecond, func() { rec.Sample(eng.Now()) })
+	rng := sim.NewRand(7)
+	for i := 0; i < 300; i++ {
+		sw.Receive(mkpkt(pkt.NodeID(rng.Intn(3)), 500+rng.Intn(1000), rng.Intn(2)))
+		if i%13 == 0 {
+			eng.RunFor(12 * sim.Microsecond)
+		}
+	}
+	eng.RunFor(sim.Millisecond)
+	tick.Stop()
+
+	n := rec.Samples()
+	if n == 0 {
+		t.Fatal("no samples")
+	}
+	classes := sw.ClassesPerPort()
+	for s := 0; s < n; s++ {
+		swSum := 0.0
+		for p := 0; p < sw.NumPorts(); p++ {
+			portSum := 0.0
+			for c := 0; c < classes; c++ {
+				portSum += rec.QueueSeries[p*classes+c][s]
+			}
+			if portSum != rec.PortSeries[p][s] {
+				t.Fatalf("sample %d port %d: queue sum %g != port series %g", s, p, portSum, rec.PortSeries[p][s])
+			}
+			swSum += rec.PortSeries[p][s]
+		}
+		if swSum != rec.Series[s] {
+			t.Fatalf("sample %d: port sum %g != switch series %g", s, swSum, rec.Series[s])
+		}
+	}
+	sawBacklog := false
+	for q := 0; q < sw.NumQueues(); q++ {
+		peak, sum := 0.0, 0.0
+		minHead := rec.ThresholdSeries[q][0] - rec.QueueSeries[q][0]
+		for s := 0; s < n; s++ {
+			thr := rec.ThresholdSeries[q][s]
+			if thr < 0 || thr > float64(sw.Capacity()) {
+				t.Fatalf("queue %d sample %d: threshold %g outside [0, capacity]", q, s, thr)
+			}
+			v := rec.QueueSeries[q][s]
+			if v > peak {
+				peak = v
+			}
+			sum += v
+			if h := thr - v; h < minHead {
+				minHead = h
+			}
+		}
+		if int(peak) != rec.QueuePeak(q) {
+			t.Errorf("queue %d: QueuePeak %d, series max %g", q, rec.QueuePeak(q), peak)
+		}
+		if mean := sum / float64(n); mean != rec.QueueMean(q) {
+			t.Errorf("queue %d: QueueMean %g, series mean %g", q, rec.QueueMean(q), mean)
+		}
+		if int(minHead) != rec.QueueMinHeadroom(q) {
+			t.Errorf("queue %d: QueueMinHeadroom %d, series min %g", q, rec.QueueMinHeadroom(q), minHead)
+		}
+		if rec.QueuePeak(q) > 0 {
+			sawBacklog = true
+		}
+	}
+	if !sawBacklog {
+		t.Error("no queue ever buffered; the scenario is too gentle to test per-queue sampling")
+	}
+}

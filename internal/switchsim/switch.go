@@ -219,19 +219,30 @@ func New(name string, eng *sim.Engine, cfg Config) *Switch {
 }
 
 // AttachPort wires port i to a link: egress rate in bits/sec,
-// propagation delay, and the receiver's delivery function.
+// propagation delay, and the receiver's delivery function. All ports
+// must be attached before traffic arrives: the Occamy expulsion engine
+// is derived exactly once, on first use, with a token rate computed
+// from every attached port.
 func (s *Switch) AttachPort(i int, rateBps float64, prop sim.Duration, sink func(*pkt.Packet)) {
 	if rateBps <= 0 {
 		panic("switchsim: port rate must be positive")
+	}
+	if s.occ != nil {
+		panic("switchsim: AttachPort after the expulsion engine was finalized")
 	}
 	p := s.ports[i]
 	p.rateBps = rateBps
 	p.prop = prop
 	p.sink = sink
+}
 
-	// (Re)derive the Occamy expulsion engine once all known port rates
-	// are in: the token rate is the aggregate memory bandwidth.
-	if s.cfg.Occamy != nil {
+// ensureExpulsion derives the Occamy expulsion engine on first use and
+// returns it (nil when expulsion is disabled). Deriving lazily — rather
+// than on every AttachPort — means the token rate reflects the
+// aggregate memory bandwidth of *all* attached ports, and the engine's
+// token/arbiter/stats state is never rebuilt and discarded mid-wiring.
+func (s *Switch) ensureExpulsion() *core.Engine {
+	if s.occ == nil && s.cfg.Occamy != nil {
 		occCfg := *s.cfg.Occamy
 		if occCfg.TokenRate == 0 {
 			total := 0.0
@@ -242,6 +253,7 @@ func (s *Switch) AttachPort(i int, rateBps float64, prop sim.Duration, sink func
 		}
 		s.occ = core.NewEngine(s, occCfg)
 	}
+	return s.occ
 }
 
 // SetRouter installs the egress-port lookup.
@@ -286,8 +298,13 @@ func (s *Switch) BufferedPackets() int {
 	return n
 }
 
-// Expulsion returns the Occamy engine, or nil.
-func (s *Switch) Expulsion() *core.Engine { return s.occ }
+// Expulsion returns the Occamy engine, deriving it on first call, or
+// nil when expulsion is disabled. Call only after every port is
+// attached: the call finalizes the engine's token rate.
+func (s *Switch) Expulsion() *core.Engine { return s.ensureExpulsion() }
+
+// ClassesPerPort returns the number of traffic-class queues per port.
+func (s *Switch) ClassesPerPort() int { return s.cfg.ClassesPerPort }
 
 // Policy returns the installed admission policy (scenario assembly wires
 // clock-dependent policies like EDT/TDT through it after construction).
@@ -436,6 +453,10 @@ func (s *Switch) Receive(p *pkt.Packet) {
 		// An enqueue shrinks the free buffer and can push any queue over
 		// its (now lower) threshold: let the expulsion engine look.
 		s.occ.Kick()
+	} else if s.cfg.Occamy != nil {
+		// First enqueue: all ports are wired by now, so the engine derives
+		// its token rate from the complete port set.
+		s.ensureExpulsion().Kick()
 	}
 	s.tryTransmit(s.ports[portID])
 }

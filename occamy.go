@@ -47,8 +47,11 @@
 // JSON (LoadScenarioSpec, ScenarioSpec.Save; `occamy-scenario export`
 // dumps any catalog entry as a template, `run ./file.json` executes
 // one), carry a quick|full|paper Scale preset, and every run records
-// deep telemetry — tail-quantile tables (ScenarioResult.TailTable) and
-// per-switch/per-port buffer dynamics (ScenarioResult.PerSwitchTable).
+// deep telemetry — tail-quantile tables (ScenarioResult.TailTable),
+// per-switch/per-port buffer dynamics (ScenarioResult.PerSwitchTable),
+// and per-(port,class) queue series with the admission policy's
+// threshold sampled alongside (ScenarioResult.QueueTable and the
+// QueueTraceSeries/QueueTracePlot Fig 3/11-style overlays).
 // SCENARIOS.md documents the spec schema and how to register new
 // scenarios.
 //
@@ -306,8 +309,16 @@ type ScenarioWorkload = scenario.Workload
 type ScenarioResult = scenario.Result
 
 // SwitchTelemetry is one switch's recorded buffer dynamics: per-port
-// egress counters plus sampled occupancy peaks, means, and time series.
+// egress counters plus sampled occupancy peaks, means, and time series
+// down to the (port, class) queues.
 type SwitchTelemetry = scenario.SwitchTelemetry
+
+// QueueTelemetry is one (port, class) queue's recorded dynamics: length
+// peak/mean/series plus the admission policy's threshold sampled at the
+// same instants and the minimum threshold headroom — the data behind
+// the Fig 3/11-style occupancy-vs-threshold overlays
+// (ScenarioResult.QueueTable, QueueTraceSeries, QueueTracePlot).
+type QueueTelemetry = scenario.QueueTelemetry
 
 // SwitchPortStats aggregates one egress port's counters.
 type SwitchPortStats = switchsim.PortStats
