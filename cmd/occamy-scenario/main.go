@@ -12,6 +12,8 @@
 //	    -sweep workloads[1].bytes=300000,500000,800000 -j 8
 //	occamy-scenario run incast-storm-256 -set workloads[1].fanout=512
 //	occamy-scenario run mixed-load-90 -deep -trace occ.csv
+//	occamy-scenario run incast-storm-256 -scale paper -trace occ.csv -trace-stride 8
+//	occamy-scenario run mixed-load-90 -json > result.json
 //	occamy-scenario export incast-storm-256 > storm.json
 //	occamy-scenario run ./storm.json
 //
@@ -28,9 +30,12 @@
 // to a single run; -trace dumps the occupancy time series — whole-switch
 // plus every (port, class) queue with the admission policy's threshold
 // sampled alongside — as CSV, and prints sparklines including
-// occupancy-vs-threshold overlays for the hottest queues. Any spec
-// field is addressable: see SCENARIOS.md for the schema and
-// `occamy-scenario metrics` for selectable columns.
+// occupancy-vs-threshold overlays for the hottest queues; -trace-stride
+// keeps every Nth sample so paper-scale CSVs stay bounded. -json prints
+// the canonical JSON result document (the same bytes occamy-served
+// caches and serves — see SERVICE.md). Any spec field is addressable:
+// see SCENARIOS.md for the schema and `occamy-scenario metrics` for
+// selectable columns.
 package main
 
 import (
@@ -134,7 +139,9 @@ func run(args []string) {
 	scaleFlag := fs.String("scale", "", "quick | full | paper (default: the spec's own scale)")
 	jobs := fs.Int("j", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 	deep := fs.Bool("deep", false, "also print tail-quantile and per-switch breakdown tables")
+	jsonOut := fs.Bool("json", false, "print the canonical JSON result document instead of tables")
 	traceOut := fs.String("trace", "", "write per-switch occupancy time series to this CSV file and print sparklines")
+	traceStride := fs.Int("trace-stride", 1, "keep every Nth trace sample in the CSV (paper-scale runs; 1 = full resolution)")
 	var sweeps, sets multiFlag
 	fs.Var(&sweeps, "sweep", "grid axis: specfield=v1,v2,... (repeatable)")
 	fs.Var(&sets, "set", "single override: specfield=value (repeatable)")
@@ -164,7 +171,9 @@ func run(args []string) {
 		if *scaleFlag != "" {
 			spec.Scale = scale
 		}
-		runSpec(spec.ApplyScale(), name, sweeps, sets, *deep, *traceOut)
+		runSpec(spec.ApplyScale(), name, sweeps, sets, runOpts{
+			deep: *deep, json: *jsonOut, traceOut: *traceOut, traceStride: *traceStride,
+		})
 		return
 	}
 
@@ -185,18 +194,32 @@ func run(args []string) {
 			if len(sweeps) > 0 || len(sets) > 0 {
 				fatalf("%s: figure scenarios take no -sweep/-set (their harness fixes the grid)", n)
 			}
+			if *jsonOut {
+				fatalf("%s: figure scenarios render bespoke tables; -json needs a spec scenario", n)
+			}
 			start := time.Now()
 			printTables(sc.Tables(scale))
 			fmt.Printf("(%s took %v)\n\n", n, time.Since(start).Round(time.Millisecond))
 			continue
 		}
-		runSpec(sc.SpecAt(scale), n, sweeps, sets, *deep, *traceOut)
+		runSpec(sc.SpecAt(scale), n, sweeps, sets, runOpts{
+			deep: *deep, json: *jsonOut, traceOut: *traceOut, traceStride: *traceStride,
+		})
 	}
 }
 
+// runOpts carries the single-run output switches.
+type runOpts struct {
+	deep        bool
+	json        bool
+	traceOut    string
+	traceStride int
+}
+
 // runSpec applies overrides and executes one spec: a single run (with
-// optional deep/trace output) or a sweep grid.
-func runSpec(spec scenario.Spec, name string, sweeps, sets []string, deep bool, traceOut string) {
+// optional deep/json/trace output) or a sweep grid.
+func runSpec(spec scenario.Spec, name string, sweeps, sets []string, opts runOpts) {
+	deep, traceOut := opts.deep, opts.traceOut
 	start := time.Now()
 	// Deep-copy the slices -set may write through; the registered catalog
 	// entry must stay pristine.
@@ -215,8 +238,8 @@ func runSpec(spec scenario.Spec, name string, sweeps, sets []string, deep bool, 
 		}
 	}
 	if len(sweeps) > 0 {
-		if deep || traceOut != "" {
-			fatalf("%s: -deep/-trace need a single run, not a sweep", name)
+		if deep || opts.json || traceOut != "" {
+			fatalf("%s: -deep/-json/-trace need a single run, not a sweep", name)
 		}
 		axes := make([]scenario.SweepAxis, len(sweeps))
 		for i, s := range sweeps {
@@ -234,9 +257,22 @@ func runSpec(spec scenario.Spec, name string, sweeps, sets []string, deep bool, 
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		return
 	}
+	if opts.json && (deep || traceOut != "") {
+		fatalf("%s: -json replaces all table/trace output; drop -deep/-trace (the document carries the tables and series)", name)
+	}
 	res, err := scenario.Run(spec)
 	if err != nil {
 		fatalf("%s: %v", name, err)
+	}
+	if opts.json {
+		// The canonical result document — byte-identical to what
+		// occamy-served caches and serves for this spec.
+		data, err := res.EncodeJSON(true)
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		os.Stdout.Write(data)
+		return
 	}
 	tabs := []*scenario.Table{res.Table()}
 	if deep {
@@ -248,7 +284,7 @@ func runSpec(spec scenario.Spec, name string, sweeps, sets []string, deep bool, 
 		if err != nil {
 			fatalf("%s: %v", name, err)
 		}
-		if err := res.WriteTraceCSV(f); err != nil {
+		if err := res.WriteTraceCSVStride(f, opts.traceStride); err != nil {
 			fatalf("%s: %v", name, err)
 		}
 		if err := f.Close(); err != nil {

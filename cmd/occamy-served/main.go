@@ -1,0 +1,61 @@
+// occamy-served serves the scenario catalog over HTTP: submit any
+// strict-JSON spec (the same files occamy-scenario export/run use),
+// poll the job, fetch the canonical JSON result document or the
+// occupancy trace CSV. Runs are memoized in a content-addressed cache —
+// resubmitting a spec that has already been simulated (by anyone, at
+// any time if -cache-dir persists) answers without re-simulating.
+//
+// Usage:
+//
+//	occamy-served [-addr :8080] [-workers N] [-cache-mb 256] [-cache-dir DIR]
+//
+//	curl localhost:8080/v1/scenarios
+//	curl -X POST 'localhost:8080/v1/runs?name=incast-storm-256&scale=quick'
+//	curl localhost:8080/v1/runs/r1
+//	curl localhost:8080/v1/runs/r1/trace.csv?stride=4
+//	occamy-scenario export mixed-load-90 > spec.json
+//	curl -X POST --data-binary @spec.json localhost:8080/v1/runs
+//	curl -X POST -d '{"name":"burst-absorb","axes":["policy.kind=dt,occamy"]}' \
+//	    localhost:8080/v1/sweeps
+//
+// See SERVICE.md for the endpoint and result-document reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"occamy/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	cacheMB := flag.Int64("cache-mb", 256, "result-cache memory budget in MB")
+	cacheDir := flag.String("cache-dir", "", "persist cached results to this directory (empty = memory only)")
+	queueDepth := flag.Int("queue", 0, "maximum queued jobs (0 = 1024)")
+	maxJobs := flag.Int("max-jobs", 0, "job-ledger bound; oldest finished jobs expire past it (0 = 4096)")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		MaxJobs:    *maxJobs,
+		CacheBytes: *cacheMB << 20,
+		CacheDir:   *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+
+	log.Printf("occamy-served listening on %s (workers=%d, cache=%dMB, dir=%q)",
+		*addr, *workers, *cacheMB, *cacheDir)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

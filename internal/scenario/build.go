@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 
 	"occamy/internal/bm"
@@ -118,9 +119,23 @@ func wireClocks(sw *switchsim.Switch, eng *sim.Engine) *sim.Ticker {
 	return nil
 }
 
+// ErrCanceled is returned by RunWithCancel when the cancel check fired
+// before the run completed.
+var ErrCanceled = errors.New("scenario: run canceled")
+
 // Run assembles and executes one scenario. The spec's Scale preset is
 // applied first (quick/paper transform), then defaults and validation.
 func Run(spec Spec) (*Result, error) {
+	return RunWithCancel(spec, nil)
+}
+
+// RunWithCancel is Run with a cooperative cancel check: the engine
+// steps in bounded chunks of virtual time and polls canceled between
+// chunks, returning ErrCanceled (and discarding the partial run) when
+// it reports true. A nil canceled never cancels. The job queue in
+// internal/service uses it to abort running jobs without a way to
+// interrupt the discrete-event engine mid-chunk.
+func RunWithCancel(spec Spec, canceled func() bool) (*Result, error) {
 	if _, err := ParseScale(string(spec.Scale)); err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
@@ -129,9 +144,9 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	if spec.Raw() {
-		return runRaw(spec)
+		return runRaw(spec, canceled)
 	}
-	return runTransport(spec)
+	return runTransport(spec, canceled)
 }
 
 // MustRun is Run for specs known valid (registered catalog entries).
@@ -276,7 +291,7 @@ func startRounds(w Workload, horizon sim.Duration,
 }
 
 // runTransport executes a spec whose workloads ride the transport stack.
-func runTransport(spec Spec) (*Result, error) {
+func runTransport(spec Spec, canceled func() bool) (*Result, error) {
 	net, tickers := buildNetwork(spec)
 	res := &Result{
 		Spec:        spec,
@@ -441,6 +456,9 @@ func runTransport(spec Spec) (*Result, error) {
 	}
 	deadline := horizon + 500*sim.Millisecond
 	for net.Eng.Now() < sim.Time(deadline) {
+		if canceled != nil && canceled() {
+			return nil, ErrCanceled
+		}
 		if gated != nil {
 			done := gated.done()
 			if done >= gateQueries {
@@ -481,7 +499,7 @@ func runTransport(spec Spec) (*Result, error) {
 
 // runRaw executes a raw-injection spec: packets go straight into one
 // switch, no hosts, no transport.
-func runRaw(spec Spec) (*Result, error) {
+func runRaw(spec Spec, canceled func() bool) (*Result, error) {
 	t := spec.Topology
 	eng := sim.NewEngine()
 	policy, occ, _ := spec.Policy.Build(t.Classes)
@@ -539,7 +557,16 @@ func runRaw(spec Spec) (*Result, error) {
 		recs[0].Sample(eng.Now())
 	})
 
-	eng.RunUntil(sim.Time(horizon))
+	for eng.Now() < sim.Time(horizon) {
+		if canceled != nil && canceled() {
+			return nil, ErrCanceled
+		}
+		step := eng.Now() + sim.Time(5*sim.Millisecond)
+		if step > sim.Time(horizon) {
+			step = sim.Time(horizon)
+		}
+		eng.RunUntil(step)
+	}
 	for _, in := range injectors {
 		in.Stop()
 	}

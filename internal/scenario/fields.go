@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"strconv"
@@ -182,6 +183,15 @@ func Expand(base Spec, axes []SweepAxis) (specs []Spec, labels []string, err err
 // the -j worker cap with deterministic, input-ordered results) and
 // returns the summary table: one row per point.
 func RunSweep(base Spec, axes []SweepAxis) (*experiments.Table, error) {
+	return RunSweepWithCancel(base, axes, nil)
+}
+
+// RunSweepWithCancel is RunSweep with a cooperative cancel check,
+// threaded into every grid point's engine loop (see RunWithCancel):
+// once canceled reports true, in-flight points bail at their next chunk
+// and the whole sweep returns ErrCanceled. A nil canceled never
+// cancels.
+func RunSweepWithCancel(base Spec, axes []SweepAxis, canceled func() bool) (*experiments.Table, error) {
 	// The base spec is expanded as-is: defaults are derived inside Run
 	// per grid point, so a sweep over (say) topology.hosts recomputes the
 	// dependent defaults (incast fanout, ECN threshold) for every point
@@ -196,12 +206,18 @@ func RunSweep(base Spec, axes []SweepAxis) (*experiments.Table, error) {
 		}
 	}
 	results := experiments.RunGrid(specs, func(s Spec) *Result {
-		r, err := Run(s)
+		r, err := RunWithCancel(s, canceled)
+		if errors.Is(err, ErrCanceled) {
+			return nil // the post-grid check below reports it
+		}
 		if err != nil {
 			panic(err) // validated above; a failure here is a builder bug
 		}
 		return r
 	})
+	if canceled != nil && canceled() {
+		return nil, ErrCanceled
+	}
 	title := base.Title
 	if len(axes) > 0 {
 		var ps []string

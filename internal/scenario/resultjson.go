@@ -1,0 +1,353 @@
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"occamy/internal/experiments"
+	"occamy/internal/metrics"
+	"occamy/internal/sim"
+	"occamy/internal/switchsim"
+	"occamy/internal/trace"
+)
+
+// Results as data
+//
+// Specs became files in PR 3; this file does the same for results, so a
+// run's output can leave the process — served over HTTP by
+// internal/service, cached by content address, dumped by the CLI
+// (`occamy-scenario run -json`) — without losing anything the text
+// tables render. The encoding is canonical: field order is fixed by the
+// struct definitions, durations use the exact-round-trip string form of
+// sim.Duration, and encoding/json is deterministic, so the same Result
+// always marshals to the same bytes (the cache-identity tests pin it).
+
+// Version identifies the result-affecting revision of the simulation
+// code. It is folded into every spec fingerprint, so a persisted result
+// cache can never serve bytes computed by an older simulator as if they
+// were current — bump it whenever simulation behavior changes.
+const Version = "5"
+
+// ResultSchemaVersion is the JSON result document schema, carried in
+// every document so readers can detect incompatible encodings.
+const ResultSchemaVersion = 1
+
+// Fingerprint returns the spec's content address: a sha256 over the
+// canonical JSON bytes of the scale- and default-resolved spec, domain-
+// separated by Version. PR 3's canonicalization (fixed field order,
+// sorted map keys, exact duration strings) guarantees equal specs hash
+// equal even when written differently — a spec that spells out a
+// default and one that omits it resolve to the same bytes. Every RNG in
+// a run is seeded from the spec, so the fingerprint addresses the
+// result, not just the input.
+func (s Spec) Fingerprint() (string, error) {
+	resolved := s.ApplyScale().WithDefaults()
+	data, err := json.Marshal(resolved)
+	if err != nil {
+		return "", fmt.Errorf("scenario: fingerprinting spec %q: %w", s.Name, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "occamy/result/v%s/schema%d\n", Version, ResultSchemaVersion)
+	h.Write(data)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// TableDoc is a rendered table in JSON form (summary rows, sweep grids).
+type TableDoc struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// NewTableDoc converts a rendered table.
+func NewTableDoc(t *experiments.Table) TableDoc {
+	return TableDoc{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+}
+
+// TailRowDoc is one tail-table line: a labeled sample population with
+// its completion-time and slowdown quantiles (at Quantiles positions).
+type TailRowDoc struct {
+	Label    string         `json:"label"`
+	Count    int            `json:"count"`
+	FCT      []sim.Duration `json:"fct,omitempty"`
+	Slowdown []float64      `json:"slowdown,omitempty"`
+}
+
+// WorkloadDoc is one workload's run output.
+type WorkloadDoc struct {
+	Kind     string `json:"kind"`
+	Label    string `json:"label"`
+	Launched int64  `json:"launched"`
+	Done     int64  `json:"done,omitempty"`
+	Timeouts int64  `json:"timeouts,omitempty"`
+	// Raw-injection accounting (cbr/burst workloads only).
+	SentPackets int64 `json:"sent_packets,omitempty"`
+	SentBytes   int64 `json:"sent_bytes,omitempty"`
+	Drops       int64 `json:"drops,omitempty"`
+	// Completions is the number of FCT/QCT samples collected; Tails the
+	// quantile breakdown (an "all" row plus one per flow-size bucket).
+	Completions int          `json:"completions"`
+	Tails       []TailRowDoc `json:"tails,omitempty"`
+}
+
+// StatsDoc mirrors switchsim.Stats with a stable JSON schema.
+type StatsDoc struct {
+	RxPackets      int64 `json:"rx_packets"`
+	TxPackets      int64 `json:"tx_packets"`
+	TxBytes        int64 `json:"tx_bytes"`
+	DropsAdmission int64 `json:"drops_admission"`
+	DropsNoMemory  int64 `json:"drops_nomem"`
+	DropsExpelled  int64 `json:"drops_expelled"`
+	ECNMarked      int64 `json:"ecn_marked"`
+}
+
+func newStatsDoc(s switchsim.Stats) StatsDoc {
+	return StatsDoc{
+		RxPackets: s.RxPackets, TxPackets: s.TxPackets, TxBytes: s.TxBytes,
+		DropsAdmission: s.DropsAdmission, DropsNoMemory: s.DropsNoMemory,
+		DropsExpelled: s.DropsExpelled, ECNMarked: s.ECNMarked,
+	}
+}
+
+// PortDoc is one egress port's counters and sampled occupancy extremes.
+type PortDoc struct {
+	TxPackets      int64   `json:"tx_packets"`
+	TxBytes        int64   `json:"tx_bytes"`
+	DropsAdmission int64   `json:"drops_admission,omitempty"`
+	DropsNoMemory  int64   `json:"drops_nomem,omitempty"`
+	DropsExpelled  int64   `json:"drops_expelled,omitempty"`
+	ECNMarked      int64   `json:"ecn_marked,omitempty"`
+	PeakBytes      int     `json:"peak_bytes"`
+	MeanBytes      float64 `json:"mean_bytes"`
+}
+
+// QueueDoc is one (port, class) queue's counters and sampled dynamics.
+type QueueDoc struct {
+	Port           int     `json:"port"`
+	Class          int     `json:"class"`
+	TxPackets      int64   `json:"tx_packets"`
+	TxBytes        int64   `json:"tx_bytes"`
+	DropsAdmission int64   `json:"drops_admission,omitempty"`
+	DropsNoMemory  int64   `json:"drops_nomem,omitempty"`
+	DropsExpelled  int64   `json:"drops_expelled,omitempty"`
+	ECNMarked      int64   `json:"ecn_marked,omitempty"`
+	PeakBytes      int     `json:"peak_bytes"`
+	MeanBytes      float64 `json:"mean_bytes"`
+	// MinThresholdHeadroom is the smallest sampled gap between the
+	// admission threshold (capacity-clamped) and the queue length, in
+	// bytes; negative while the queue sat over its threshold.
+	MinThresholdHeadroom int `json:"min_thr_headroom_bytes"`
+}
+
+// SwitchDoc is one switch's stats and telemetry summary.
+type SwitchDoc struct {
+	Name      string     `json:"name"`
+	Classes   int        `json:"classes"`
+	Stats     StatsDoc   `json:"stats"`
+	Buffered  int        `json:"buffered_packets"`
+	PeakBytes int        `json:"peak_bytes"`
+	MeanBytes float64    `json:"mean_bytes"`
+	Ports     []PortDoc  `json:"ports"`
+	Queues    []QueueDoc `json:"queues"`
+}
+
+// SeriesDoc is one named occupancy time series.
+type SeriesDoc struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// QueueSeriesDoc is one queue's occupancy series with the admission
+// threshold sampled at the same instants (the Fig 3/11 overlay pair).
+type QueueSeriesDoc struct {
+	Name      string    `json:"name"`
+	Occupancy []float64 `json:"occupancy"`
+	Threshold []float64 `json:"threshold"`
+}
+
+// TraceDoc carries the aligned occupancy time series of a run: sampling
+// period and instants, one whole-switch series per switch, and one
+// occupancy/threshold pair per (port, class) queue.
+type TraceDoc struct {
+	SampleEvery sim.Duration     `json:"sample_every"`
+	Times       []sim.Time       `json:"times"`
+	Switches    []SeriesDoc      `json:"switches"`
+	Queues      []QueueSeriesDoc `json:"queues"`
+}
+
+// ResultDoc is the complete JSON encoding of a scenario run: everything
+// the text tables render (summary row, tail quantiles, per-switch /
+// per-port / per-queue telemetry) plus the trace series, keyed by the
+// spec that produced it.
+type ResultDoc struct {
+	Schema      int    `json:"schema"`
+	Name        string `json:"name"`
+	Title       string `json:"title,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	// Spec is the scale- and default-resolved spec the run executed —
+	// the fingerprint preimage, not necessarily the bytes submitted.
+	Spec Spec `json:"spec"`
+	// Summary is the rendered metric row (the CLI summary table).
+	Summary   TableDoc      `json:"summary"`
+	Workloads []WorkloadDoc `json:"workloads"`
+	Total     StatsDoc      `json:"total"`
+	Switches  []SwitchDoc   `json:"switches"`
+	// BufferBytes is the per-switch capacity; MaxOccupancy the sampled
+	// whole-run peak; Events the simulator events executed.
+	BufferBytes  int       `json:"buffer_bytes"`
+	MaxOccupancy int       `json:"max_occupancy"`
+	Events       uint64    `json:"events"`
+	Trace        *TraceDoc `json:"trace,omitempty"`
+}
+
+// Doc distills the result into its JSON document form. withTrace
+// controls whether the (large) time-series section is included; the
+// summary, tails, and per-switch/per-queue aggregates always are.
+func (r *Result) Doc(withTrace bool) (*ResultDoc, error) {
+	fp, err := r.Spec.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	doc := &ResultDoc{
+		Schema:       ResultSchemaVersion,
+		Name:         r.Spec.Name,
+		Title:        r.Spec.Title,
+		Fingerprint:  fp,
+		Spec:         r.Spec.ApplyScale().WithDefaults(),
+		Summary:      NewTableDoc(r.Table()),
+		Total:        newStatsDoc(r.Total),
+		BufferBytes:  r.BufferBytes,
+		MaxOccupancy: r.MaxOccupancy,
+		Events:       r.Events,
+	}
+	for i := range r.Workloads {
+		ws := &r.Workloads[i]
+		wd := WorkloadDoc{
+			Kind: ws.Kind, Label: ws.Label,
+			Launched: ws.Launched, Done: ws.Done, Timeouts: ws.Timeouts,
+			SentPackets: ws.SentPackets, SentBytes: ws.SentBytes, Drops: ws.Drops,
+			Completions: ws.Col.Count(),
+		}
+		if ws.Kind != WLCBR && ws.Kind != WLBurst {
+			for _, row := range ws.Col.TailRows(metrics.DefaultSizeBuckets, metrics.TailQuantiles) {
+				td := TailRowDoc{Label: row.Label, Count: row.Count}
+				if row.Count > 0 {
+					td.FCT, td.Slowdown = row.FCT, row.Slowdown
+				}
+				wd.Tails = append(wd.Tails, td)
+			}
+		}
+		doc.Workloads = append(doc.Workloads, wd)
+	}
+	for i := range r.Telemetry {
+		tel := &r.Telemetry[i]
+		sd := SwitchDoc{
+			Name:      tel.Name,
+			Classes:   tel.Classes,
+			Stats:     newStatsDoc(r.PerSwitch[i]),
+			Buffered:  r.Buffered[i],
+			PeakBytes: tel.PeakOcc,
+			MeanBytes: tel.MeanOcc,
+		}
+		for p, ps := range tel.Ports {
+			sd.Ports = append(sd.Ports, PortDoc{
+				TxPackets: ps.TxPackets, TxBytes: ps.TxBytes,
+				DropsAdmission: ps.DropsAdmission, DropsNoMemory: ps.DropsNoMemory,
+				DropsExpelled: ps.DropsExpelled, ECNMarked: ps.ECNMarked,
+				PeakBytes: tel.PortPeak[p], MeanBytes: tel.PortMean[p],
+			})
+		}
+		for q := range tel.Queues {
+			qt := &tel.Queues[q]
+			sd.Queues = append(sd.Queues, QueueDoc{
+				Port: qt.Port, Class: qt.Class,
+				TxPackets: qt.Stats.TxPackets, TxBytes: qt.Stats.TxBytes,
+				DropsAdmission: qt.Stats.DropsAdmission, DropsNoMemory: qt.Stats.DropsNoMemory,
+				DropsExpelled: qt.Stats.DropsExpelled, ECNMarked: qt.Stats.ECNMarked,
+				PeakBytes: qt.Peak, MeanBytes: qt.Mean, MinThresholdHeadroom: qt.MinHeadroom,
+			})
+		}
+		doc.Switches = append(doc.Switches, sd)
+	}
+	if withTrace && len(r.SampleTimes) > 0 {
+		td := &TraceDoc{SampleEvery: r.SampleEvery, Times: r.SampleTimes}
+		for i := range r.Telemetry {
+			tel := &r.Telemetry[i]
+			td.Switches = append(td.Switches, SeriesDoc{Name: tel.Name, Values: tel.Series})
+			for q := range tel.Queues {
+				qt := &tel.Queues[q]
+				td.Queues = append(td.Queues, QueueSeriesDoc{
+					Name: tel.Name + ":" + qt.Label(), Occupancy: qt.Series, Threshold: qt.Threshold,
+				})
+			}
+		}
+		doc.Trace = td
+	}
+	return doc, nil
+}
+
+// EncodeJSON marshals the result document in its canonical compact
+// form: deterministic bytes for a deterministic run, so content-
+// addressed caches can compare results byte-for-byte.
+func (r *Result) EncodeJSON(withTrace bool) ([]byte, error) {
+	doc, err := r.Doc(withTrace)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Encode()
+}
+
+// Encode marshals the document compactly with a trailing newline.
+func (d *ResultDoc) Encode() ([]byte, error) {
+	data, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshaling result %q: %w", d.Name, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeResultDoc parses a result document, rejecting unknown fields
+// and foreign schema versions (the strictness mirror of ParseSpec).
+func DecodeResultDoc(data []byte) (*ResultDoc, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d ResultDoc
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("scenario: parsing result document: %w", err)
+	}
+	if d.Schema != ResultSchemaVersion {
+		return nil, fmt.Errorf("scenario: result document has schema %d, this build reads %d", d.Schema, ResultSchemaVersion)
+	}
+	return &d, nil
+}
+
+// WriteTraceCSV renders the document's trace section in the same CSV
+// shape as Result.WriteTraceCSV: one whole-switch occupancy column per
+// switch, then an occupancy/threshold column pair per queue. stride
+// keeps every stride-th sample (<=1 keeps all). Errors when the
+// document carries no trace.
+func (d *ResultDoc) WriteTraceCSV(w io.Writer, stride int) error {
+	if d.Trace == nil || len(d.Trace.Times) == 0 {
+		return fmt.Errorf("scenario %q: result document carries no trace", d.Name)
+	}
+	times := make([]float64, len(d.Trace.Times))
+	for i, t := range d.Trace.Times {
+		times[i] = t.Seconds()
+	}
+	series := make([]trace.Series, 0, len(d.Trace.Switches)+2*len(d.Trace.Queues))
+	for _, s := range d.Trace.Switches {
+		series = append(series, trace.Series{Name: s.Name, Values: s.Values})
+	}
+	for _, q := range d.Trace.Queues {
+		series = append(series,
+			trace.Series{Name: q.Name, Values: q.Occupancy},
+			trace.Series{Name: q.Name + ":thr", Values: q.Threshold})
+	}
+	times, series = strideSeries(times, series, stride)
+	return trace.WriteCSV(w, times, series)
+}

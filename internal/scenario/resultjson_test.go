@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"occamy/internal/sim"
+)
+
+// The fingerprint is a content address: specs that resolve to the same
+// run hash equal (explicit defaults vs omitted ones), and any field
+// that changes the run changes the hash.
+func TestFingerprintCanonical(t *testing.T) {
+	base := Spec{
+		Name:     "fp-test",
+		Topology: Topology{Kind: SingleSwitch},
+		Policy:   Policy{Kind: "dt", Alpha: 1},
+		Workloads: []Workload{
+			{Kind: WLBackground, Load: 0.5},
+		},
+		// Explicit (= the default) so the scale mutation below actually
+		// changes the resolved run: quick caps written durations only.
+		Duration: 40 * sim.Millisecond,
+	}
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(fp, "sha256:") || len(fp) != len("sha256:")+64 {
+		t.Fatalf("malformed fingerprint %q", fp)
+	}
+
+	// Spelling out what WithDefaults would resolve anyway must not
+	// change the address: equal runs, equal keys.
+	explicit := base
+	explicit.Workloads = append([]Workload(nil), base.Workloads...)
+	explicit.Seed = 42
+	explicit.Topology.Hosts = 8
+	explicit.Duration = 0 // resolves back to the written 40ms
+	explicit.Workloads[0].PktSize = 1000
+	if fp2, _ := explicit.Fingerprint(); fp2 != fp {
+		t.Errorf("explicit defaults changed the fingerprint:\n%s\n%s", fp, fp2)
+	}
+
+	// Anything that changes the run must change the address.
+	for name, mutate := range map[string]func(*Spec){
+		"seed":     func(s *Spec) { s.Seed = 7 },
+		"load":     func(s *Spec) { s.Workloads[0].Load = 0.6 },
+		"policy":   func(s *Spec) { s.Policy.Kind = "occamy" },
+		"hosts":    func(s *Spec) { s.Topology.Hosts = 16 },
+		"scale":    func(s *Spec) { s.Scale = ScaleQuick },
+		"duration": func(s *Spec) { s.Duration = 10 * sim.Millisecond },
+	} {
+		mut := base
+		mut.Workloads = append([]Workload(nil), base.Workloads...)
+		mutate(&mut)
+		if fp2, _ := mut.Fingerprint(); fp2 == fp {
+			t.Errorf("mutating %s left the fingerprint unchanged", name)
+		}
+	}
+
+	// A catalog spec at two scales is two distinct addresses, and the
+	// scale-pinning form hashes equal to its pre-resolved form
+	// (ApplyScale is folded in before hashing).
+	sc, _ := Get("leafspine-demo")
+	spec := sc.Spec
+	spec.Scale = ScaleQuick
+	fpQuick, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpFull, err := sc.Spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpQuick == fpFull {
+		t.Error("quick and full scales of leafspine-demo hash equal")
+	}
+	if fpResolved, _ := QuickSpec(sc.Spec).Fingerprint(); fpResolved != fpQuick {
+		t.Errorf("scale=quick spec and its resolved form hash differently")
+	}
+}
+
+// The result document must round-trip byte-identically (the property
+// the content-addressed cache rests on), reproduce the summary table
+// cell-for-cell, and regenerate the exact trace CSV the Result writes.
+func TestResultDocRoundTrip(t *testing.T) {
+	sc, _ := Get("mixed-class-incast")
+	spec := sc.SpecAt(ScaleQuick)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.EncodeJSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeResultDoc(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("result document not canonical across decode/encode")
+	}
+
+	// Metrics survive the trip byte-for-byte.
+	tab := res.Table()
+	if !reflect.DeepEqual(doc.Summary, NewTableDoc(tab)) {
+		t.Errorf("summary drifted:\nwant %+v\ngot  %+v", NewTableDoc(tab), doc.Summary)
+	}
+	// So do the per-queue counters (satellite of the same PR).
+	for i := range res.Telemetry {
+		for q := range res.Telemetry[i].Queues {
+			qt := &res.Telemetry[i].Queues[q]
+			qd := doc.Switches[i].Queues[q]
+			if qd.TxPackets != qt.Stats.TxPackets || qd.DropsExpelled != qt.Stats.DropsExpelled ||
+				qd.DropsAdmission != qt.Stats.DropsAdmission || qd.ECNMarked != qt.Stats.ECNMarked {
+				t.Fatalf("switch %d queue %d counters drifted: doc %+v vs %+v", i, q, qd, qt.Stats)
+			}
+		}
+	}
+
+	// The document's trace regenerates the Result's CSV exactly, at
+	// stride 1 and strided.
+	for _, stride := range []int{1, 7} {
+		var fromRes, fromDoc strings.Builder
+		if err := res.WriteTraceCSVStride(&fromRes, stride); err != nil {
+			t.Fatal(err)
+		}
+		if err := doc.WriteTraceCSV(&fromDoc, stride); err != nil {
+			t.Fatal(err)
+		}
+		if fromRes.String() != fromDoc.String() {
+			t.Errorf("stride %d: document CSV differs from Result CSV", stride)
+		}
+	}
+
+	// Without the trace section the document still decodes, and the
+	// trace surface refuses politely.
+	lean, err := res.EncodeJSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leanDoc, err := DecodeResultDoc(lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leanDoc.Trace != nil {
+		t.Error("EncodeJSON(false) kept the trace section")
+	}
+	if err := leanDoc.WriteTraceCSV(&strings.Builder{}, 1); err == nil {
+		t.Error("WriteTraceCSV on a traceless document did not error")
+	}
+	if len(lean) >= len(data) {
+		t.Errorf("traceless encoding (%d B) not smaller than full (%d B)", len(lean), len(data))
+	}
+
+	// Strictness mirrors ParseSpec: unknown fields and foreign schemas
+	// are rejected.
+	if _, err := DecodeResultDoc([]byte(`{"schema":1,"bogus":true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := DecodeResultDoc([]byte(`{"schema":99}`)); err == nil {
+		t.Error("foreign schema version accepted")
+	}
+}
+
+// Identical runs encode to identical bytes — the determinism the cache
+// identity test in internal/service depends on, pinned at the layer
+// that provides it.
+func TestResultEncodingDeterministic(t *testing.T) {
+	sc, _ := Get("burst-absorb")
+	spec := sc.SpecAt(ScaleQuick)
+	enc := func() string {
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.EncodeJSON(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if a, b := enc(), enc(); a != b {
+		t.Error("identical runs encoded to different bytes")
+	}
+}
+
+// WriteTraceCSVStride bounds the CSV: stride N keeps ceil(samples/N)
+// rows, real samples with their exact timestamps (the stride=1 goldens
+// elsewhere pin that full resolution is unchanged).
+func TestTraceStride(t *testing.T) {
+	sc, _ := Get("quickstart")
+	res, err := Run(sc.SpecAt(ScaleQuick))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full strings.Builder
+	if err := res.WriteTraceCSVStride(&full, 1); err != nil {
+		t.Fatal(err)
+	}
+	fullLines := strings.Split(strings.TrimRight(full.String(), "\n"), "\n")
+	samples := len(res.SampleTimes)
+	if len(fullLines) != samples+1 {
+		t.Fatalf("stride 1: %d lines for %d samples", len(fullLines), samples)
+	}
+	for _, stride := range []int{2, 5, 64, samples + 10} {
+		var out strings.Builder
+		if err := res.WriteTraceCSVStride(&out, stride); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+		want := (samples + stride - 1) / stride
+		if len(lines) != want+1 {
+			t.Errorf("stride %d: %d data rows, want %d", stride, len(lines)-1, want)
+		}
+		if lines[0] != fullLines[0] {
+			t.Errorf("stride %d changed the header", stride)
+		}
+		// Surviving rows are the exact stride-th rows of the full dump.
+		for i, l := range lines[1:] {
+			if fullRow := fullLines[1+i*stride]; l != fullRow {
+				t.Fatalf("stride %d row %d is not full-resolution row %d:\n%s\n%s", stride, i, i*stride, l, fullRow)
+			}
+		}
+	}
+}

@@ -28,6 +28,11 @@ import (
 type QueueTelemetry struct {
 	// Port and Class locate the queue on its switch.
 	Port, Class int
+	// Stats holds the queue's egress counters: transmissions out of it
+	// and losses/marks of packets destined to it. Summed over a port's
+	// classes they reproduce that port's PortStats exactly (drops no
+	// longer attribute only to ports).
+	Stats switchsim.QueueStats
 	// Peak/Mean are the sampled queue-length extremes in bytes.
 	Peak int
 	Mean float64
@@ -94,6 +99,7 @@ func newTelemetry(sw *switchsim.Switch, rec *switchsim.Recorder) SwitchTelemetry
 		t.Queues[q] = QueueTelemetry{
 			Port:        q / t.Classes,
 			Class:       q % t.Classes,
+			Stats:       sw.QueueStats(q),
 			Peak:        rec.QueuePeak(q),
 			Mean:        rec.QueueMean(q),
 			MinHeadroom: rec.QueueMinHeadroom(q),
@@ -258,26 +264,30 @@ func (r *Result) PerSwitchTable() *experiments.Table {
 }
 
 // QueueTable renders the per-queue buffer dynamics of every switch: the
-// sampled length peak/mean and the minimum threshold headroom (how
-// close the queue came to its admission limit; negative = over it) for
-// every queue that buffered anything during the run.
+// sampled length peak/mean, the minimum threshold headroom (how close
+// the queue came to its admission limit; negative = over it), and the
+// queue's egress/drop counters, for every queue that buffered or
+// dropped anything during the run.
 func (r *Result) QueueTable() *experiments.Table {
 	t := &experiments.Table{
 		ID:    r.Spec.Name + "-queues",
 		Title: "per-queue buffer dynamics (queues with traffic)",
 		Columns: []string{"switch", "queue", "class",
-			"peak_occ_pct", "mean_occ_pct", "min_thr_headroom_pct"},
+			"peak_occ_pct", "mean_occ_pct", "min_thr_headroom_pct",
+			"tx_pkts", "drops", "expelled", "ecn"},
 	}
 	for i := range r.Telemetry {
 		tel := &r.Telemetry[i]
 		for q := range tel.Queues {
 			qt := &tel.Queues[q]
-			if qt.Peak == 0 {
+			if qt.Peak == 0 && qt.Stats == (switchsim.QueueStats{}) {
 				continue
 			}
 			t.AddRow(tel.Name, qt.Label(), fmt.Sprint(qt.Class),
 				r.occPct(float64(qt.Peak)), r.occPct(qt.Mean),
-				r.signedOccPct(float64(qt.MinHeadroom)))
+				r.signedOccPct(float64(qt.MinHeadroom)),
+				fmt.Sprint(qt.Stats.TxPackets), fmt.Sprint(qt.Stats.Drops()),
+				fmt.Sprint(qt.Stats.DropsExpelled), fmt.Sprint(qt.Stats.ECNMarked))
 		}
 	}
 	return t
@@ -328,12 +338,44 @@ func (r *Result) QueueTraceSeries() (times []float64, series []trace.Series) {
 // occupancy column per switch, then per-queue occupancy and threshold
 // column pairs for every queue of every switch.
 func (r *Result) WriteTraceCSV(w io.Writer) error {
+	return r.WriteTraceCSVStride(w, 1)
+}
+
+// WriteTraceCSVStride is WriteTraceCSV keeping only every stride-th
+// sample (stride <= 1 keeps all) — the bound that keeps paper-scale
+// trace files manageable: a run records ~1000 aligned samples per
+// switch and two columns per (port, class) queue, so a 256-port sweep
+// at full resolution is tens of MB of CSV.
+func (r *Result) WriteTraceCSVStride(w io.Writer, stride int) error {
 	times, series := r.TraceSeries()
 	if len(series) == 0 {
 		return fmt.Errorf("scenario %q: no occupancy trace recorded", r.Spec.Name)
 	}
 	_, qseries := r.QueueTraceSeries()
-	return trace.WriteCSV(w, times, append(series, qseries...))
+	times, series = strideSeries(times, append(series, qseries...), stride)
+	return trace.WriteCSV(w, times, series)
+}
+
+// strideSeries keeps every stride-th element of the aligned times and
+// series (stride <= 1 returns the input unchanged). Unlike
+// trace.Downsample it subsamples rather than bucket-averages, so the
+// surviving rows are real recorded samples with their exact timestamps.
+func strideSeries(times []float64, series []trace.Series, stride int) ([]float64, []trace.Series) {
+	if stride <= 1 {
+		return times, series
+	}
+	keep := func(v []float64) []float64 {
+		out := make([]float64, 0, (len(v)+stride-1)/stride)
+		for i := 0; i < len(v); i += stride {
+			out = append(out, v[i])
+		}
+		return out
+	}
+	strided := make([]trace.Series, len(series))
+	for i, s := range series {
+		strided[i] = trace.Series{Name: s.Name, Values: keep(s.Values)}
+	}
+	return keep(times), strided
 }
 
 // TracePlot renders the per-switch occupancy series as labeled

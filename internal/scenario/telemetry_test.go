@@ -45,6 +45,30 @@ func TestTelemetrySumsToGlobalTotals(t *testing.T) {
 				if agg.ECNMarked != st.ECNMarked {
 					t.Errorf("switch %d: per-port ECN %d != stats %d", i, agg.ECNMarked, st.ECNMarked)
 				}
+				// One level deeper: each port's per-queue counters must sum
+				// to that port's PortStats exactly (drops no longer
+				// attribute only to ports).
+				tel := &res.Telemetry[i]
+				for p, ps := range tel.Ports {
+					var qagg switchsim.QueueStats
+					for c := 0; c < tel.Classes; c++ {
+						qs := tel.Queues[p*tel.Classes+c].Stats
+						qagg.TxPackets += qs.TxPackets
+						qagg.TxBytes += qs.TxBytes
+						qagg.DropsAdmission += qs.DropsAdmission
+						qagg.DropsNoMemory += qs.DropsNoMemory
+						qagg.DropsExpelled += qs.DropsExpelled
+						qagg.ECNMarked += qs.ECNMarked
+					}
+					want := switchsim.QueueStats{
+						TxPackets: ps.TxPackets, TxBytes: ps.TxBytes,
+						DropsAdmission: ps.DropsAdmission, DropsNoMemory: ps.DropsNoMemory,
+						DropsExpelled: ps.DropsExpelled, ECNMarked: ps.ECNMarked,
+					}
+					if qagg != want {
+						t.Errorf("switch %d port %d: per-queue sums %+v != port stats %+v", i, p, qagg, want)
+					}
+				}
 				total.TxPackets += st.TxPackets
 				total.DropsAdmission += st.DropsAdmission
 				total.DropsNoMemory += st.DropsNoMemory

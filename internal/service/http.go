@@ -1,0 +1,297 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"occamy/internal/scenario"
+)
+
+// HTTP API (v1)
+//
+//	GET    /v1/scenarios              catalog listing
+//	GET    /v1/scenarios/{name}       exportable spec template (?scale=)
+//	POST   /v1/runs                   submit a strict-JSON spec body
+//	                                  (or ?name=<catalog>&scale= with an
+//	                                  empty body) -> 202 {id, cached}
+//	GET    /v1/runs                   list jobs
+//	GET    /v1/runs/{id}              status + result document when done
+//	GET    /v1/runs/{id}/trace.csv    occupancy trace CSV (?stride=N)
+//	DELETE /v1/runs/{id}              cancel
+//	POST   /v1/sweeps                 {spec|name, axes: ["path=v1,v2"]}
+//	GET    /v1/cache                  cache stats
+//
+// Spec parsing reuses scenario.ParseSpec, so the server is exactly as
+// strict as the CLI: unknown fields, malformed durations, and invalid
+// values are a 400 with the parser's message — never a panic (the fuzz
+// test drives arbitrary bodies through POST /v1/runs to pin that).
+
+// maxSpecBytes bounds a submitted spec body; real specs are a few KB.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioExport)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleJobs)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/runs/{id}/trace.csv", s.handleTrace)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// scenarioInfo is one catalog row of GET /v1/scenarios.
+type scenarioInfo struct {
+	Name  string `json:"name"`
+	Title string `json:"title"`
+	// Kind is "spec" for exportable declarative entries, "figure" for
+	// the bespoke figure harnesses (not runnable over the API).
+	Kind string `json:"kind"`
+}
+
+func (s *Service) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	var out []scenarioInfo
+	for _, name := range scenario.Names() {
+		sc, _ := scenario.Get(name)
+		kind := "spec"
+		if sc.Tables != nil {
+			kind = "figure"
+		}
+		out = append(out, scenarioInfo{Name: name, Title: sc.Spec.Title, Kind: kind})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+}
+
+// catalogSpec resolves a catalog entry at a scale; the error messages
+// double as HTTP bodies.
+func catalogSpec(name, scaleStr string) (scenario.Spec, error) {
+	scale, err := scenario.ParseScale(scaleStr)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	sc, ok := scenario.Get(name)
+	if !ok {
+		return scenario.Spec{}, fmt.Errorf("unknown scenario %q", name)
+	}
+	if sc.Tables != nil {
+		return scenario.Spec{}, fmt.Errorf("%s is a figure harness with bespoke tables; it has no spec", name)
+	}
+	return sc.SpecAt(scale), nil
+}
+
+func (s *Service) handleScenarioExport(w http.ResponseWriter, r *http.Request) {
+	spec, err := catalogSpec(r.PathValue("name"), r.URL.Query().Get("scale"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	data, err := spec.Marshal()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// readSpec extracts the submitted spec: a strict-JSON body, or — when
+// the body is empty — a catalog name in the query string.
+func readSpec(r *http.Request) (scenario.Spec, int, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		return scenario.Spec{}, http.StatusBadRequest, fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) > maxSpecBytes {
+		return scenario.Spec{}, http.StatusRequestEntityTooLarge, fmt.Errorf("spec body over %d bytes", maxSpecBytes)
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			return scenario.Spec{}, http.StatusBadRequest, fmt.Errorf("empty body and no ?name= catalog entry")
+		}
+		spec, err := catalogSpec(name, r.URL.Query().Get("scale"))
+		if err != nil {
+			return scenario.Spec{}, http.StatusNotFound, err
+		}
+		return spec, 0, nil
+	}
+	spec, err := scenario.ParseSpec(body)
+	if err != nil {
+		return scenario.Spec{}, http.StatusBadRequest, err
+	}
+	if scaleStr := r.URL.Query().Get("scale"); scaleStr != "" {
+		scale, err := scenario.ParseScale(scaleStr)
+		if err != nil {
+			return scenario.Spec{}, http.StatusBadRequest, err
+		}
+		spec.Scale = scale
+	}
+	return spec, 0, nil
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, status, err := readSpec(r)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": s.Jobs()})
+}
+
+// jobView is the GET /v1/runs/{id} response: the status snapshot plus,
+// once done, the raw result document.
+type jobView struct {
+	JobStatus
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %s", id)
+		return
+	}
+	view := jobView{JobStatus: st}
+	if data, ok := s.Result(id); ok {
+		view.Result = data
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	stride := 1
+	if v := r.URL.Query().Get("stride"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "stride must be a positive integer, got %q", v)
+			return
+		}
+		stride = n
+	}
+	doc, err := s.ResultDoc(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if err := doc.WriteTraceCSV(w, stride); err != nil {
+		// Headers are gone; all we can do is truncate mid-body. The "no
+		// trace" case is the only expected one and hits before any write.
+		httpError(w, http.StatusNotFound, "%v", err)
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Cancel(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// sweepRequest is the POST /v1/sweeps body: an inline spec or a catalog
+// name, plus the axes in CLI syntax ("policy.alpha=1,2,4").
+type sweepRequest struct {
+	Name  string          `json:"name,omitempty"`
+	Scale string          `json:"scale,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	Axes  []string        `json:"axes"`
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil || len(body) > maxSpecBytes {
+		httpError(w, http.StatusBadRequest, "bad sweep body")
+		return
+	}
+	var req sweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing sweep request: %v", err)
+		return
+	}
+	var spec scenario.Spec
+	switch {
+	case len(req.Spec) > 0:
+		spec, err = scenario.ParseSpec(req.Spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case req.Name != "":
+		spec, err = catalogSpec(req.Name, req.Scale)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "sweep request needs a spec or a catalog name")
+		return
+	}
+	if len(req.Axes) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep request has no axes")
+		return
+	}
+	axes := make([]scenario.SweepAxis, len(req.Axes))
+	for i, a := range req.Axes {
+		ax, err := scenario.ParseSweep(a)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		axes[i] = ax
+	}
+	st, err := s.SubmitSweep(spec, axes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.Stats())
+}
+
+// encodeTableDoc marshals a table document compactly with a trailing
+// newline (the sweep-result format).
+func encodeTableDoc(d *scenario.TableDoc) ([]byte, error) {
+	data, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshaling sweep table %q: %w", d.ID, err)
+	}
+	return append(data, '\n'), nil
+}

@@ -63,6 +63,58 @@ func TestPortStatsSumToSwitchStats(t *testing.T) {
 	}
 }
 
+// Per-queue accounting, one level below ports: each port's per-queue
+// egress/drop/mark counters must sum to that port's PortStats exactly,
+// so drops are attributable to the (port, class) queue, not only the
+// port.
+func TestQueueStatsSumToPortStats(t *testing.T) {
+	eng := sim.NewEngine()
+	sw, _ := testSwitch(t, eng, Config{
+		Ports: 4, ClassesPerPort: 2, BufferBytes: 12_000,
+		ECNThresholdBytes: 2_000, Policy: bm.NewDT(1), Scheduler: SchedSP,
+	}, 1e9)
+	rng := sim.NewRand(9)
+	for i := 0; i < 400; i++ {
+		sw.Receive(mkpkt(pkt.NodeID(rng.Intn(4)), 500+rng.Intn(1000), rng.Intn(2)))
+		if i%50 == 0 {
+			eng.RunFor(20 * sim.Microsecond)
+		}
+	}
+	eng.Run()
+
+	classes := sw.ClassesPerPort()
+	var drops, marks int64
+	for p := 0; p < sw.NumPorts(); p++ {
+		var agg QueueStats
+		for c := 0; c < classes; c++ {
+			qs := sw.QueueStats(p*classes + c)
+			agg.TxPackets += qs.TxPackets
+			agg.TxBytes += qs.TxBytes
+			agg.DropsAdmission += qs.DropsAdmission
+			agg.DropsNoMemory += qs.DropsNoMemory
+			agg.DropsExpelled += qs.DropsExpelled
+			agg.ECNMarked += qs.ECNMarked
+		}
+		ps := sw.PortStats(p)
+		want := QueueStats{
+			TxPackets: ps.TxPackets, TxBytes: ps.TxBytes,
+			DropsAdmission: ps.DropsAdmission, DropsNoMemory: ps.DropsNoMemory,
+			DropsExpelled: ps.DropsExpelled, ECNMarked: ps.ECNMarked,
+		}
+		if agg != want {
+			t.Errorf("port %d: per-queue sums %+v != port stats %+v", p, agg, want)
+		}
+		drops += agg.Drops()
+		marks += agg.ECNMarked
+	}
+	if drops == 0 {
+		t.Error("scenario too gentle: no drops exercised the per-queue counters")
+	}
+	if marks == 0 {
+		t.Error("no ECN marks exercised the per-queue counters")
+	}
+}
+
 // The recorder's aggregates must match its own series, and per-port
 // peaks can never exceed the whole-switch peak (samples are aligned).
 func TestRecorderAggregates(t *testing.T) {

@@ -101,6 +101,23 @@ type PortStats struct {
 // Drops returns the port's total arrival losses (not expulsions).
 func (s PortStats) Drops() int64 { return s.DropsAdmission + s.DropsNoMemory }
 
+// QueueStats aggregates egress-side counters for one (port, class)
+// queue: transmissions out of it, and losses/marks of packets destined
+// to it. Summed over a port's classes they reproduce the PortStats
+// fields exactly, the same way PortStats sums to Stats (the scenario
+// property tests assert the whole chain).
+type QueueStats struct {
+	TxPackets      int64
+	TxBytes        int64
+	DropsAdmission int64
+	DropsNoMemory  int64
+	DropsExpelled  int64
+	ECNMarked      int64
+}
+
+// Drops returns the queue's total arrival losses (not expulsions).
+func (s QueueStats) Drops() int64 { return s.DropsAdmission + s.DropsNoMemory }
+
 // classQueue is one traffic-class queue: the PD-list in cell memory plus
 // the in-lockstep packet metadata and the ABM drain-rate estimator.
 type classQueue struct {
@@ -154,6 +171,7 @@ type Switch struct {
 	totalBytes int // sum of queue lengths (packet bytes, not cell-rounded)
 	stats      Stats
 	portStats  []PortStats
+	queueStats []QueueStats // indexed port*ClassesPerPort+class
 
 	// Memory-bandwidth meter: cell operations (reads+writes) per second,
 	// for the Fig 7(b) utilization measurement.
@@ -200,6 +218,7 @@ func New(name string, eng *sim.Engine, cfg Config) *Switch {
 		s.preemptQ = p
 	}
 	s.portStats = make([]PortStats, cfg.Ports)
+	s.queueStats = make([]QueueStats, cfg.Ports*cfg.ClassesPerPort)
 	s.ports = make([]*port, cfg.Ports)
 	for i := range s.ports {
 		pt := &port{id: i, sw: s, sched: newScheduler(cfg.Scheduler, cfg.ClassesPerPort, cfg.DRRQuantum)}
@@ -275,6 +294,11 @@ func (s *Switch) NumPorts() int { return len(s.ports) }
 // all ports they reproduce the switch-level Stats tx/drop/mark fields
 // exactly (the scenario property tests assert it).
 func (s *Switch) PortStats(i int) PortStats { return s.portStats[i] }
+
+// QueueStats returns a snapshot of queue q's egress counters (flat
+// index port*ClassesPerPort+class). Summed over a port's classes they
+// reproduce that port's PortStats tx/drop/mark fields exactly.
+func (s *Switch) QueueStats(q int) QueueStats { return s.queueStats[q] }
 
 // PortOccupancy returns the bytes currently buffered for egress port i
 // across all its traffic classes.
@@ -376,6 +400,7 @@ func (s *Switch) HeadDrop(q int) (int, int, bool) {
 	s.totalBytes -= size
 	s.stats.DropsExpelled++
 	s.portStats[q/s.cfg.ClassesPerPort].DropsExpelled++
+	s.queueStats[q].DropsExpelled++
 	s.memBW.add(s.eng.Now(), cells) // pointer-path bandwidth only
 	if s.DropHook != nil {
 		s.DropHook(p, q, DropExpelled)
@@ -440,6 +465,7 @@ func (s *Switch) Receive(p *pkt.Packet) {
 		p.CE = true
 		s.stats.ECNMarked++
 		s.portStats[portID].ECNMarked++
+		s.queueStats[q].ECNMarked++
 		if s.MarkHook != nil {
 			s.MarkHook(p, q)
 		}
@@ -463,13 +489,16 @@ func (s *Switch) Receive(p *pkt.Packet) {
 
 func (s *Switch) drop(p *pkt.Packet, q int, reason DropReason) {
 	ps := &s.portStats[q/s.cfg.ClassesPerPort]
+	qs := &s.queueStats[q]
 	switch reason {
 	case DropAdmission:
 		s.stats.DropsAdmission++
 		ps.DropsAdmission++
+		qs.DropsAdmission++
 	case DropNoMemory:
 		s.stats.DropsNoMemory++
 		ps.DropsNoMemory++
+		qs.DropsNoMemory++
 	}
 	if s.DropHook != nil {
 		s.DropHook(p, q, reason)
@@ -505,6 +534,9 @@ func (s *Switch) tryTransmit(pt *port) {
 	ps := &s.portStats[pt.id]
 	ps.TxPackets++
 	ps.TxBytes += int64(p.Size)
+	qs := &s.queueStats[s.qindex(pt.id, class)]
+	qs.TxPackets++
+	qs.TxBytes += int64(p.Size)
 
 	txTime := sim.Duration(float64(p.Size*8) / pt.rateBps * float64(sim.Second))
 	if txTime < 1 {

@@ -55,6 +55,14 @@
 // SCENARIOS.md documents the spec schema and how to register new
 // scenarios.
 //
+// Results are data too: every run encodes to a canonical JSON document
+// (ScenarioResultDoc; `occamy-scenario run -json`), and cmd/occamy-served
+// exposes the whole catalog as an HTTP service — submit a spec, poll
+// the job, fetch the result or its trace CSV — with a content-addressed
+// cache that answers repeat submissions of any previously simulated
+// spec without re-simulating (NewScenarioService embeds the same engine
+// in-process; SERVICE.md documents the API).
+//
 // The deeper layers remain importable for advanced use:
 //
 //   - occamy/internal/* is intentionally *not* reachable from other
@@ -70,6 +78,7 @@ import (
 	"occamy/internal/netsim"
 	"occamy/internal/pkt"
 	"occamy/internal/scenario"
+	"occamy/internal/service"
 	"occamy/internal/sim"
 	"occamy/internal/switchsim"
 	"occamy/internal/transport"
@@ -369,6 +378,35 @@ func RunScenarioSweep(spec ScenarioSpec, axes []SweepAxis) (*Table, error) {
 
 // RegisterScenario adds a scenario to the catalog (see SCENARIOS.md).
 func RegisterScenario(s Scenario) { scenario.Register(s) }
+
+// ScenarioResultDoc is the canonical JSON document of a scenario run:
+// everything the text tables render (summary row, tail quantiles,
+// per-switch/per-port/per-queue telemetry and counters) plus the
+// occupancy trace series. `occamy-scenario run -json` prints it and
+// occamy-served caches and serves it; equal specs always produce
+// byte-identical documents (see SERVICE.md for the schema).
+type ScenarioResultDoc = scenario.ResultDoc
+
+// DecodeScenarioResult parses a canonical JSON result document,
+// rejecting unknown fields and foreign schema versions.
+func DecodeScenarioResult(data []byte) (*ScenarioResultDoc, error) {
+	return scenario.DecodeResultDoc(data)
+}
+
+// ScenarioService is the embeddable scenario-execution service behind
+// cmd/occamy-served: a bounded worker-pool job queue with a content-
+// addressed result cache; Handler() exposes the HTTP API.
+type ScenarioService = service.Service
+
+// ScenarioServiceConfig sizes a ScenarioService (workers, queue depth,
+// cache byte budget, optional persistence directory).
+type ScenarioServiceConfig = service.Config
+
+// NewScenarioService starts a scenario-execution service; the worker
+// pool is live on return. Close it to stop accepting and drain.
+func NewScenarioService(cfg ScenarioServiceConfig) (*ScenarioService, error) {
+	return service.New(cfg)
+}
 
 // GetScenario looks a registered scenario up by name.
 func GetScenario(name string) (Scenario, bool) { return scenario.Get(name) }
