@@ -138,7 +138,7 @@ func run(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	scaleFlag := fs.String("scale", "", "quick | full | paper (default: the spec's own scale)")
 	jobs := fs.Int("j", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
-	deep := fs.Bool("deep", false, "also print tail-quantile and per-switch breakdown tables")
+	deep := fs.Bool("deep", false, "also print tail-quantile, per-switch, and (when faults are configured) per-link fault tables")
 	jsonOut := fs.Bool("json", false, "print the canonical JSON result document instead of tables")
 	traceOut := fs.String("trace", "", "write per-switch occupancy time series to this CSV file and print sparklines")
 	traceStride := fs.Int("trace-stride", 1, "keep every Nth trace sample in the CSV (paper-scale runs; 1 = full resolution)")
@@ -277,6 +277,9 @@ func runSpec(spec scenario.Spec, name string, sweeps, sets []string, opts runOpt
 	tabs := []*scenario.Table{res.Table()}
 	if deep {
 		tabs = append(tabs, res.TailTable(), res.PerSwitchTable(), res.QueueTable())
+		if len(res.FaultLinks) > 0 {
+			tabs = append(tabs, res.FaultTable())
+		}
 	}
 	printTables(tabs)
 	if traceOut != "" {

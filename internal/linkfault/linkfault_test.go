@@ -1,0 +1,269 @@
+package linkfault
+
+import (
+	"testing"
+
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+)
+
+// drive offers n minimal packets through the link's wrapped sink at the
+// current instant and drains the engine (jitter events, hold timers).
+func drive(eng *sim.Engine, sink func(*pkt.Packet), n int) {
+	for i := 0; i < n; i++ {
+		p := &pkt.Packet{ID: uint64(i + 1), Size: 1000, Seq: int64(i)}
+		sink(p)
+	}
+	eng.Run()
+}
+
+func onePlan(seed uint64, prof Profile) (*sim.Engine, *Plan) {
+	eng := sim.NewEngine()
+	return eng, NewPlan(eng, nil, Config{Seed: seed, HostLeaf: &prof})
+}
+
+func TestIdleProfilePassesThrough(t *testing.T) {
+	eng, pl := onePlan(1, Profile{})
+	var got int
+	sink := pl.Wrap(ClassHostLeaf, "l", func(p *pkt.Packet) { got++ })
+	if pl.Active() || len(pl.Links) != 0 {
+		t.Fatalf("inactive profile created links: %+v", pl.Links)
+	}
+	drive(eng, sink, 10)
+	if got != 10 {
+		t.Fatalf("pass-through delivered %d/10", got)
+	}
+	if s := pl.Snapshot(); s != nil {
+		t.Fatalf("snapshot of unwrapped plan = %v, want nil", s)
+	}
+}
+
+func TestLossRateAndConservation(t *testing.T) {
+	eng, pl := onePlan(7, Profile{LossProb: 0.1})
+	var got int64
+	sink := pl.Wrap(ClassHostLeaf, "l", func(p *pkt.Packet) { got++ })
+	const n = 20000
+	drive(eng, sink, n)
+	st := pl.Links[0].Stats()
+	if st.Offered != n || st.Delivered != got {
+		t.Fatalf("offered %d delivered %d, sink saw %d", st.Offered, st.Delivered, got)
+	}
+	if st.InFlight() != 0 {
+		t.Fatalf("in-flight %d after drain", st.InFlight())
+	}
+	rate := float64(st.Dropped) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Fatalf("loss rate %.4f far from 0.1", rate)
+	}
+}
+
+func TestGilbertElliottLossIsBursty(t *testing.T) {
+	// Bad state loses everything; ~2-packet bad dwell time. The drop
+	// pattern must contain consecutive-loss runs, which i.i.d. loss at
+	// the same average rate almost never produces at length >= 3.
+	eng, pl := onePlan(11, Profile{GEBadLossProb: 1, GEGoodToBad: 0.05, GEBadToGood: 0.5})
+	var delivered []int64
+	sink := pl.Wrap(ClassHostLeaf, "l", func(p *pkt.Packet) { delivered = append(delivered, p.Seq) })
+	const n = 5000
+	drive(eng, sink, n)
+	st := pl.Links[0].Stats()
+	if st.Dropped == 0 {
+		t.Fatal("GE chain dropped nothing")
+	}
+	// Longest gap in the delivered seq stream = longest loss burst.
+	longest, prev := int64(0), int64(-1)
+	for _, s := range delivered {
+		if gap := s - prev - 1; gap > longest {
+			longest = gap
+		}
+		prev = s
+	}
+	if longest < 3 {
+		t.Fatalf("longest loss burst %d, want >= 3 (bursty loss)", longest)
+	}
+}
+
+func TestDuplicationDeliversTwiceWithSameID(t *testing.T) {
+	eng, pl := onePlan(3, Profile{DupProb: 0.5})
+	var ids []uint64
+	sink := pl.Wrap(ClassHostLeaf, "l", func(p *pkt.Packet) { ids = append(ids, p.ID) })
+	const n = 1000
+	drive(eng, sink, n)
+	st := pl.Links[0].Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates at dup_prob 0.5")
+	}
+	if st.Delivered != st.Offered+st.Duplicated {
+		t.Fatalf("delivered %d != offered %d + dup %d", st.Delivered, st.Offered, st.Duplicated)
+	}
+	seen := map[uint64]int{}
+	for _, id := range ids {
+		seen[id]++
+	}
+	var twice int64
+	for _, c := range seen {
+		if c == 2 {
+			twice++
+		} else if c != 1 {
+			t.Fatalf("packet delivered %d times", c)
+		}
+	}
+	if twice != st.Duplicated {
+		t.Fatalf("%d ids delivered twice, stats say %d duplicates", twice, st.Duplicated)
+	}
+}
+
+func TestHoldBackReordersBehindNextPacket(t *testing.T) {
+	eng, pl := onePlan(5, Profile{ReorderProb: 1, ReorderHold: sim.Millisecond})
+	var seqs []int64
+	sink := pl.Wrap(ClassHostLeaf, "l", func(p *pkt.Packet) { seqs = append(seqs, p.Seq) })
+	// Four packets: 0 held, 1 overtakes and releases 0; 2 held, 3
+	// overtakes and releases 2.
+	drive(eng, sink, 4)
+	want := []int64{1, 0, 3, 2}
+	if len(seqs) != len(want) {
+		t.Fatalf("delivered %v", seqs)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", seqs, want)
+		}
+	}
+	st := pl.Links[0].Stats()
+	if st.Held != 2 || st.Reordered != 2 {
+		t.Fatalf("held %d reordered %d, want 2/2", st.Held, st.Reordered)
+	}
+}
+
+func TestHoldHorizonReleasesWithoutOvertake(t *testing.T) {
+	const hold = 50 * sim.Microsecond
+	eng, pl := onePlan(5, Profile{ReorderProb: 1, ReorderHold: hold})
+	var at []sim.Time
+	sink := pl.Wrap(ClassHostLeaf, "l", func(p *pkt.Packet) { at = append(at, eng.Now()) })
+	sink(&pkt.Packet{ID: 1, Size: 100})
+	eng.Run()
+	if len(at) != 1 || at[0] != sim.Time(hold) {
+		t.Fatalf("lone held packet delivered at %v, want exactly the %v horizon", at, hold)
+	}
+	st := pl.Links[0].Stats()
+	if st.Held != 1 || st.Reordered != 0 {
+		t.Fatalf("held %d reordered %d, want 1/0 (timer release is not a reorder)", st.Held, st.Reordered)
+	}
+	if st.InFlight() != 0 {
+		t.Fatalf("in-flight %d after release", st.InFlight())
+	}
+}
+
+func TestJitterBoundedAndEventuallyDelivered(t *testing.T) {
+	const jmax = 10 * sim.Microsecond
+	eng, pl := onePlan(9, Profile{JitterMax: jmax})
+	var at []sim.Time
+	sink := pl.Wrap(ClassHostLeaf, "l", func(p *pkt.Packet) { at = append(at, eng.Now()) })
+	const n = 500
+	drive(eng, sink, n)
+	if len(at) != n {
+		t.Fatalf("delivered %d/%d", len(at), n)
+	}
+	var jittered int
+	for _, ts := range at {
+		if ts < 0 || ts > sim.Time(jmax) {
+			t.Fatalf("delivery at %v outside [0, %v]", ts, jmax)
+		}
+		if ts > 0 {
+			jittered++
+		}
+	}
+	if jittered == 0 {
+		t.Fatal("no packet was actually delayed")
+	}
+}
+
+// The fault stream of a link must depend only on (seed, name): wiring
+// order, sibling links, and the engine sharing must not shift it.
+func TestPerLinkStreamsIndependentOfWiringOrder(t *testing.T) {
+	prof := Profile{LossProb: 0.2, DupProb: 0.1}
+	run := func(order []string) map[string]Stats {
+		eng := sim.NewEngine()
+		pl := NewPlan(eng, nil, Config{Seed: 42, HostLeaf: &prof})
+		sinks := map[string]func(*pkt.Packet){}
+		for _, name := range order {
+			sinks[name] = pl.Wrap(ClassHostLeaf, name, func(p *pkt.Packet) {})
+		}
+		for i := 0; i < 2000; i++ {
+			for _, name := range []string{"a", "b", "c"} { // fixed offer order
+				sinks[name](&pkt.Packet{ID: uint64(i), Size: 100})
+			}
+		}
+		eng.Run()
+		out := map[string]Stats{}
+		for _, l := range pl.Links {
+			out[l.Name] = l.Stats()
+		}
+		return out
+	}
+	fwd := run([]string{"a", "b", "c"})
+	rev := run([]string{"c", "b", "a"})
+	for _, name := range []string{"a", "b", "c"} {
+		if fwd[name] != rev[name] {
+			t.Fatalf("link %s stats differ across wiring orders: %+v vs %+v", name, fwd[name], rev[name])
+		}
+	}
+	if fwd["a"] == fwd["b"] && fwd["b"] == fwd["c"] {
+		t.Fatal("all three links produced identical stats; per-link streams are correlated")
+	}
+}
+
+func TestSnapshotKeepsWiringOrder(t *testing.T) {
+	eng, pl := onePlan(1, Profile{LossProb: 0.5})
+	_ = eng
+	for _, name := range []string{"z", "a", "m"} {
+		pl.Wrap(ClassHostLeaf, name, func(p *pkt.Packet) {})
+	}
+	snap := pl.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "z" || snap[1].Name != "a" || snap[2].Name != "m" {
+		t.Fatalf("snapshot order %v, want wiring order z a m", snap)
+	}
+}
+
+func TestClassSelection(t *testing.T) {
+	eng := sim.NewEngine()
+	hl := Profile{LossProb: 1}
+	pl := NewPlan(eng, nil, Config{Seed: 1, HostLeaf: &hl})
+	var fabric int
+	fsink := pl.Wrap(ClassLeafSpine, "leaf0->spine0", func(p *pkt.Packet) { fabric++ })
+	hsink := pl.Wrap(ClassHostLeaf, "h0->leaf0", func(p *pkt.Packet) { t.Fatal("host-leaf delivered despite loss 1") })
+	fsink(&pkt.Packet{ID: 1})
+	hsink(&pkt.Packet{ID: 2})
+	eng.Run()
+	if fabric != 1 {
+		t.Fatalf("fabric link (no profile) delivered %d/1", fabric)
+	}
+	if len(pl.Links) != 1 {
+		t.Fatalf("%d links wrapped, want only the host-leaf one", len(pl.Links))
+	}
+}
+
+// Dropped and duplicated packets must round-trip through the pool
+// without corrupting it: a dropped packet is recycled, a duplicate is a
+// fresh allocation.
+func TestPoolRecycling(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := pkt.NewPool()
+	prof := Profile{LossProb: 0.5, DupProb: 0.25}
+	pl := NewPlan(eng, pool, Config{Seed: 13, HostLeaf: &prof})
+	sink := pl.Wrap(ClassHostLeaf, "l", func(p *pkt.Packet) { pool.Put(p) })
+	for i := 0; i < 5000; i++ {
+		p := pool.Get()
+		p.ID = uint64(i + 1)
+		p.Size = 100
+		sink(p)
+	}
+	eng.Run()
+	st := pl.Links[0].Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Fatalf("faults not exercised: %+v", st)
+	}
+	if st.InFlight() != 0 {
+		t.Fatalf("in-flight %d after drain", st.InFlight())
+	}
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"occamy/internal/linkfault"
 	"occamy/internal/pkt"
 	"occamy/internal/sim"
 	"occamy/internal/switchsim"
@@ -15,6 +16,9 @@ type Network struct {
 	Switches []*switchsim.Switch
 	// Pool is the engine-wide packet freelist shared by every host.
 	Pool *pkt.Pool
+	// Faults is the link-fault plan wrapped around the topology's links;
+	// nil when the topology config enabled no fault profile.
+	Faults *linkfault.Plan
 
 	nextFlow uint64
 }

@@ -5,6 +5,7 @@ import (
 
 	"occamy/internal/bm"
 	"occamy/internal/core"
+	"occamy/internal/linkfault"
 	"occamy/internal/pkt"
 	"occamy/internal/sim"
 	"occamy/internal/switchsim"
@@ -20,6 +21,9 @@ type SingleSwitchConfig struct {
 	LinkDelay sim.Duration
 	// Switch configures the switch; Ports is filled in automatically.
 	Switch switchsim.Config
+	// Faults selects per-link-class fault profiles (host links are the
+	// host-leaf class here); the zero value leaves every link ideal.
+	Faults linkfault.Config
 	// Seed seeds the network's RNG.
 	Seed uint64
 }
@@ -43,11 +47,17 @@ func SingleSwitch(cfg SingleSwitchConfig) *Network {
 		Switches: []*switchsim.Switch{sw},
 		Pool:     pkt.NewPool(),
 	}
+	plan := linkfault.NewPlan(eng, net.Pool, cfg.Faults)
+	if plan.Active() {
+		net.Faults = plan
+	}
 	for i := 0; i < n; i++ {
 		h := NewHost(eng, pkt.NodeID(i))
 		h.UsePool(net.Pool)
-		h.Wire(cfg.HostRates[i], cfg.LinkDelay, sw.Receive)
-		sw.AttachPort(i, cfg.HostRates[i], cfg.LinkDelay, h.Deliver)
+		up := plan.Wrap(linkfault.ClassHostLeaf, fmt.Sprintf("h%d->sw0", i), sw.Receive)
+		down := plan.Wrap(linkfault.ClassHostLeaf, fmt.Sprintf("sw0->h%d", i), h.Deliver)
+		h.Wire(cfg.HostRates[i], cfg.LinkDelay, up)
+		sw.AttachPort(i, cfg.HostRates[i], cfg.LinkDelay, down)
 		net.Hosts = append(net.Hosts, h)
 	}
 	sw.SetRouter(func(p *pkt.Packet) int { return int(p.Dst) })
@@ -82,6 +92,10 @@ type LeafSpineConfig struct {
 	// stateful policies (EDT, TDT, the pushout variants).
 	MakeLeafPolicy  func() (bm.Policy, *core.Config)
 	MakeSpinePolicy func() (bm.Policy, *core.Config)
+	// Faults selects per-link-class fault profiles: host<->leaf links are
+	// the host-leaf class, leaf<->spine links the leaf-spine class. The
+	// zero value leaves every link ideal.
+	Faults linkfault.Config
 	// Seed seeds the network's RNG.
 	Seed uint64
 }
@@ -116,6 +130,10 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 	}
 	eng := sim.NewEngine()
 	net := &Network{Eng: eng, Rand: sim.NewRand(cfg.Seed), Pool: pkt.NewPool()}
+	plan := linkfault.NewPlan(eng, net.Pool, cfg.Faults)
+	if plan.Active() {
+		net.Faults = plan
+	}
 
 	leaves := make([]*switchsim.Switch, cfg.Leaves)
 	spines := make([]*switchsim.Switch, cfg.Spines)
@@ -150,8 +168,10 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 			h.UsePool(net.Pool)
 			leaf := leaves[l]
 			rate := cfg.hostRate(int(id))
-			h.Wire(rate, cfg.LinkDelay, leaf.Receive)
-			leaf.AttachPort(i, rate, cfg.LinkDelay, h.Deliver)
+			up := plan.Wrap(linkfault.ClassHostLeaf, fmt.Sprintf("h%d->leaf%d", id, l), leaf.Receive)
+			down := plan.Wrap(linkfault.ClassHostLeaf, fmt.Sprintf("leaf%d->h%d", l, id), h.Deliver)
+			h.Wire(rate, cfg.LinkDelay, up)
+			leaf.AttachPort(i, rate, cfg.LinkDelay, down)
 			net.Hosts = append(net.Hosts, h)
 		}
 	}
@@ -160,8 +180,10 @@ func LeafSpine(cfg LeafSpineConfig) *Network {
 		for s := 0; s < cfg.Spines; s++ {
 			spine := spines[s]
 			leaf := leaves[l]
-			leaf.AttachPort(cfg.HostsPerLeaf+s, cfg.SpineLinkBps, cfg.LinkDelay, spine.Receive)
-			spine.AttachPort(l, cfg.SpineLinkBps, cfg.LinkDelay, leaf.Receive)
+			up := plan.Wrap(linkfault.ClassLeafSpine, fmt.Sprintf("leaf%d->spine%d", l, s), spine.Receive)
+			down := plan.Wrap(linkfault.ClassLeafSpine, fmt.Sprintf("spine%d->leaf%d", s, l), leaf.Receive)
+			leaf.AttachPort(cfg.HostsPerLeaf+s, cfg.SpineLinkBps, cfg.LinkDelay, up)
+			spine.AttachPort(l, cfg.SpineLinkBps, cfg.LinkDelay, down)
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"occamy/internal/bm"
 	"occamy/internal/core"
 	"occamy/internal/experiments"
+	"occamy/internal/linkfault"
 	"occamy/internal/metrics"
 	"occamy/internal/netsim"
 	"occamy/internal/pkt"
@@ -55,6 +56,9 @@ type Result struct {
 	// (periodic sampling); BufferBytes the per-switch capacity.
 	MaxOccupancy int
 	BufferBytes  int
+	// FaultLinks holds the per-link fault-injection counters in wiring
+	// order; nil when the spec enabled no fault profile.
+	FaultLinks []linkfault.LinkStats
 	// Events is the number of simulator events executed.
 	Events uint64
 }
@@ -182,6 +186,7 @@ func buildNetwork(spec Spec) (*netsim.Network, []*sim.Ticker) {
 		DRRQuantum:        t.DRRQuantum,
 	}
 
+	faults := spec.Faults.config(spec.Seed)
 	var net *netsim.Network
 	switch t.Kind {
 	case LeafSpine:
@@ -198,6 +203,7 @@ func buildNetwork(spec Spec) (*netsim.Network, []*sim.Ticker) {
 			HostRates:       rates,
 			MakeLeafPolicy:  mkPolicy,
 			MakeSpinePolicy: mkPolicy,
+			Faults:          faults,
 			Seed:            spec.Seed,
 		})
 	default:
@@ -211,6 +217,7 @@ func buildNetwork(spec Spec) (*netsim.Network, []*sim.Ticker) {
 			HostRates: rates,
 			LinkDelay: t.LinkDelay,
 			Switch:    scfg,
+			Faults:    faults,
 			Seed:      spec.Seed,
 		})
 	}
@@ -492,6 +499,9 @@ func runTransport(spec Spec, canceled func() bool) (*Result, error) {
 		if running[i].done != nil {
 			res.Workloads[i].Done = running[i].done()
 		}
+	}
+	if net.Faults != nil {
+		res.FaultLinks = net.Faults.Snapshot()
 	}
 	finishResult(res, net.Switches, recs, net.Eng)
 	return res, nil

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"occamy/internal/experiments"
+	"occamy/internal/linkfault"
 	"occamy/internal/sim"
 )
 
@@ -320,5 +321,106 @@ func init() {
 		Duration: 30 * sim.Millisecond,
 		Metrics: []string{"policy", "bg_avg_fct_ms", "bg_avg_slow", "delivered_mb",
 			"drops", "expelled", "ecn_marked", "max_occ_pct"},
+	}})
+
+	// --- New: WAN-degraded fabric links --------------------------------
+	// The leaf<->spine links behave like a congested long-haul segment:
+	// Gilbert–Elliott bursty loss (~0.5% average, in multi-packet bursts)
+	// plus up to 20µs of jitter — while the host access links stay clean.
+	// Transport must absorb burst losses on the fabric without wedging
+	// the gating incast.
+	Register(Scenario{Spec: Spec{
+		Name:  "wan-degraded-leafspine",
+		Title: "leaf-spine with bursty-lossy, jittery fabric links (GE + 20us jitter)",
+		Topology: Topology{
+			Kind: LeafSpine, Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+			LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Faults: &Faults{
+			LeafSpine: &linkfault.Profile{
+				GEBadLossProb: 0.25, GEGoodToBad: 0.004, GEBadToGood: 0.2,
+				JitterMax: 20 * sim.Microsecond,
+			},
+		},
+		Workloads: []Workload{
+			{Kind: WLBackground, Load: 0.5},
+			{Kind: WLIncast, Client: -1, Fanout: 8, QuerySize: 150_000,
+				Interval: 2 * sim.Millisecond, Queries: 12},
+		},
+		Warmup:   sim.Millisecond,
+		Duration: 24 * sim.Millisecond,
+	}})
+
+	// --- New: flaky ToR uplinks under incast ---------------------------
+	// Every host access link of the ToR loses 1% of packets i.i.d. and
+	// duplicates another 0.5%: the incast's loss recovery now races
+	// link-level loss on both data and ACK paths, and duplicate ACKs
+	// must not be mistaken for the fast-retransmit signal.
+	Register(Scenario{Spec: Spec{
+		Name:  "flaky-tor-incast",
+		Title: "incast through a flaky ToR: 1% link loss + 0.5% duplication",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 16, LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Faults: &Faults{
+			HostLeaf: &linkfault.Profile{LossProb: 0.01, DupProb: 0.005},
+		},
+		Workloads: []Workload{
+			{Kind: WLBackground, Load: 0.3},
+			{Kind: WLIncast, Client: 0, QuerySize: 250_000, Queries: 10},
+		},
+		Duration: 60 * sim.Millisecond,
+	}})
+
+	// --- New: duplicate storm ------------------------------------------
+	// Every link duplicates 10% of packets — no loss at all. A transport
+	// fooled by duplicates would fast-retransmit constantly; a robust one
+	// delivers the same tails as the clean run, with the switch carrying
+	// ~10% phantom load.
+	Register(Scenario{Spec: Spec{
+		Name:  "duplicate-storm",
+		Title: "10% packet duplication on every link, zero loss (8 hosts)",
+		Topology: Topology{
+			Kind: SingleSwitch, Hosts: 8, LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Faults: &Faults{
+			All: &linkfault.Profile{DupProb: 0.1},
+		},
+		Workloads: []Workload{
+			{Kind: WLBackground, Load: 0.4},
+			{Kind: WLIncast, Client: 0, QuerySize: 200_000, Queries: 10},
+		},
+		Duration: 40 * sim.Millisecond,
+	}})
+
+	// --- New: jittery all-reduce ---------------------------------------
+	// Collective rounds over a fabric whose links add up to 15µs of
+	// per-packet jitter and hold back 2% of packets for up to 30µs: the
+	// reordering this produces must ride below the dup-ACK threshold
+	// instead of triggering spurious fast retransmits.
+	Register(Scenario{Spec: Spec{
+		Name:  "jittery-allreduce",
+		Title: "all-reduce over jittery, reordering links (15us jitter, 2% hold-back)",
+		Topology: Topology{
+			Kind: LeafSpine, Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+			LinkBps: 10e9,
+		},
+		Policy: Policy{Kind: "occamy", Alpha: 8},
+		Faults: &Faults{
+			All: &linkfault.Profile{
+				JitterMax:   15 * sim.Microsecond,
+				ReorderProb: 0.02, ReorderHold: 30 * sim.Microsecond,
+			},
+		},
+		Workloads: []Workload{
+			{Kind: WLAllReduce, FlowSize: 262_144, Load: 0.8},
+			{Kind: WLIncast, Client: -1, Fanout: 8, QuerySize: 150_000,
+				Interval: 2 * sim.Millisecond, Queries: 12},
+		},
+		Warmup:   sim.Millisecond,
+		Duration: 24 * sim.Millisecond,
 	}})
 }

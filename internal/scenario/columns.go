@@ -235,6 +235,24 @@ var columnFuncs = map[string]func(*Result) string{
 		return r.signedOccPct(float64(min))
 	},
 	"switches": func(r *Result) string { return fmt.Sprint(len(r.PerSwitch)) },
+	"link_drops": func(r *Result) string {
+		if len(r.FaultLinks) == 0 {
+			return "-"
+		}
+		return fmt.Sprint(r.LinkFaultTotals().Dropped)
+	},
+	"link_dups": func(r *Result) string {
+		if len(r.FaultLinks) == 0 {
+			return "-"
+		}
+		return fmt.Sprint(r.LinkFaultTotals().Duplicated)
+	},
+	"link_reorders": func(r *Result) string {
+		if len(r.FaultLinks) == 0 {
+			return "-"
+		}
+		return fmt.Sprint(r.LinkFaultTotals().Reordered)
+	},
 }
 
 // MetricNames returns every selectable column, sorted.
@@ -268,7 +286,11 @@ func DefaultMetrics(spec Spec) []string {
 	if hasLoad {
 		cols = append(cols, "bg_avg_fct_ms", "small_bg_p99_slow")
 	}
-	return append(cols, "drops", "expelled", "max_occ_pct")
+	cols = append(cols, "drops", "expelled", "max_occ_pct")
+	if spec.Faults != nil {
+		cols = append(cols, "link_drops", "link_dups", "link_reorders")
+	}
+	return cols
 }
 
 // metricsOf resolves the effective column list of a spec.

@@ -51,10 +51,22 @@ func resolve(v reflect.Value, path string) (reflect.Value, error) {
 			}
 			name, index = part[:i], n
 		}
+		// Optional blocks are pointers (Spec.Faults, its profiles): step
+		// through, allocating on the way so a sweep can set a field in a
+		// block the base spec leaves nil.
+		for v.Kind() == reflect.Pointer {
+			if v.IsNil() {
+				if !v.CanSet() {
+					return v, fmt.Errorf("scenario: nil %s in path %q", v.Type(), path)
+				}
+				v.Set(reflect.New(v.Type().Elem()))
+			}
+			v = v.Elem()
+		}
 		if v.Kind() != reflect.Struct {
 			return v, fmt.Errorf("scenario: %q is not a struct field path", path)
 		}
-		field := v.FieldByNameFunc(func(f string) bool { return strings.EqualFold(f, name) })
+		field := v.FieldByNameFunc(func(f string) bool { return fieldNameMatch(f, name) })
 		if !field.IsValid() {
 			return v, fmt.Errorf("scenario: no field %q in %s", name, v.Type())
 		}
@@ -73,6 +85,22 @@ func resolve(v reflect.Value, path string) (reflect.Value, error) {
 		return v, fmt.Errorf("scenario: field %q is not settable", path)
 	}
 	return v, nil
+}
+
+// fieldNameMatch compares a Go field name against a path segment
+// case-insensitively with dashes and underscores stripped, so paths can
+// use the JSON spelling: "host-leaf" and "loss_prob" match HostLeaf and
+// LossProb.
+func fieldNameMatch(field, name string) bool {
+	strip := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r == '-' || r == '_' {
+				return -1
+			}
+			return r
+		}, s)
+	}
+	return strings.EqualFold(strip(field), strip(name))
 }
 
 var durationType = reflect.TypeOf(sim.Duration(0))
@@ -158,9 +186,11 @@ func Expand(base Spec, axes []SweepAxis) (specs []Spec, labels []string, err err
 		for i, s := range specs {
 			for _, val := range ax.Values {
 				cp := s
-				// Deep-copy the slices reflection will write through.
+				// Deep-copy the slices and pointer blocks reflection will
+				// write through.
 				cp.Workloads = append([]Workload(nil), s.Workloads...)
 				cp.Metrics = append([]string(nil), s.Metrics...)
+				cp.Faults = s.Faults.clone()
 				if err := SetField(&cp, ax.Path, val); err != nil {
 					return nil, nil, err
 				}

@@ -54,10 +54,50 @@ func goldenDeepTables(t *testing.T, name string) string {
 	return render([]*Table{res.Table(), res.TailTable(), res.PerSwitchTable()})
 }
 
+// goldenFaultTables is goldenDeepTables plus the per-link fault counter
+// table, with an optional policy override — the anchors for the fault
+// injection layer under both Occamy and plain DT.
+func goldenFaultTables(t *testing.T, name string, policy *Policy) string {
+	t.Helper()
+	sc, ok := Get(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	spec := sc.SpecAt(ScaleQuick)
+	if policy != nil {
+		spec.Policy = *policy
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return render([]*Table{res.Table(), res.TailTable(), res.PerSwitchTable(), res.FaultTable()})
+}
+
 func TestGoldenIncastStorm(t *testing.T) {
 	checkGolden(t, "incast_storm_256_quick_golden.txt", goldenDeepTables(t, "incast-storm-256"))
 }
 
 func TestGoldenMixedLoad(t *testing.T) {
 	checkGolden(t, "mixed_load_90_quick_golden.txt", goldenDeepTables(t, "mixed-load-90"))
+}
+
+func TestGoldenWanDegradedOccamy(t *testing.T) {
+	checkGolden(t, "wan_degraded_leafspine_quick_golden.txt",
+		goldenFaultTables(t, "wan-degraded-leafspine", nil))
+}
+
+func TestGoldenWanDegradedDT(t *testing.T) {
+	checkGolden(t, "wan_degraded_leafspine_dt_quick_golden.txt",
+		goldenFaultTables(t, "wan-degraded-leafspine", &Policy{Kind: "dt", Alpha: 1}))
+}
+
+func TestGoldenFlakyTorOccamy(t *testing.T) {
+	checkGolden(t, "flaky_tor_incast_quick_golden.txt",
+		goldenFaultTables(t, "flaky-tor-incast", nil))
+}
+
+func TestGoldenFlakyTorDT(t *testing.T) {
+	checkGolden(t, "flaky_tor_incast_dt_quick_golden.txt",
+		goldenFaultTables(t, "flaky-tor-incast", &Policy{Kind: "dt", Alpha: 1}))
 }

@@ -160,6 +160,16 @@ func FuzzLoadSpec(f *testing.F) {
 		`"workloads":[{"kind":"incast","query_size":1000,"queries":1}],"duration":"1ms","scale":"paper"}`))
 	f.Add([]byte(`{"name":"x","bogus":true}`))
 	f.Add([]byte(`{"degraded_ports":{"notanint":0.5}}`))
+	// Malformed fault blocks: unknown selector, out-of-range probability,
+	// bad duration syntax, wrong shapes.
+	f.Add([]byte(`{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},` +
+		`"workloads":[{"kind":"background","load":0.5}],"faults":{"all":{"loss_prob":0.5}}}`))
+	f.Add([]byte(`{"name":"x","faults":{"spine-core":{"loss_prob":0.1}}}`))
+	f.Add([]byte(`{"name":"x","faults":{"all":{"loss_prob":7}}}`))
+	f.Add([]byte(`{"name":"x","faults":{"all":{"jitter_max":"3 parsecs"}}}`))
+	f.Add([]byte(`{"name":"x","faults":{"all":{"reorder_prob":0.1}}}`))
+	f.Add([]byte(`{"name":"x","faults":{"all":[0.1]}}`))
+	f.Add([]byte(`{"name":"x","faults":0.1}`))
 	f.Add([]byte(`[{}]`))
 	f.Add([]byte(`nul`))
 

@@ -30,7 +30,7 @@ import (
 // code. It is folded into every spec fingerprint, so a persisted result
 // cache can never serve bytes computed by an older simulator as if they
 // were current — bump it whenever simulation behavior changes.
-const Version = "5"
+const Version = "6"
 
 // ResultSchemaVersion is the JSON result document schema, carried in
 // every document so readers can detect incompatible encodings.
@@ -163,11 +163,25 @@ type SeriesDoc struct {
 }
 
 // QueueSeriesDoc is one queue's occupancy series with the admission
-// threshold sampled at the same instants (the Fig 3/11 overlay pair).
+// threshold and cumulative ECN-mark counter sampled at the same
+// instants (the Fig 3/11 overlay pair plus the marking dynamics).
 type QueueSeriesDoc struct {
 	Name      string    `json:"name"`
 	Occupancy []float64 `json:"occupancy"`
 	Threshold []float64 `json:"threshold"`
+	ECN       []float64 `json:"ecn,omitempty"`
+}
+
+// FaultLinkDoc is one faulted link's injection counters.
+type FaultLinkDoc struct {
+	Name       string `json:"name"`
+	Class      string `json:"class"`
+	Offered    int64  `json:"offered"`
+	Delivered  int64  `json:"delivered"`
+	Dropped    int64  `json:"dropped,omitempty"`
+	Duplicated int64  `json:"duplicated,omitempty"`
+	Held       int64  `json:"held,omitempty"`
+	Reordered  int64  `json:"reordered,omitempty"`
 }
 
 // TraceDoc carries the aligned occupancy time series of a run: sampling
@@ -199,10 +213,13 @@ type ResultDoc struct {
 	Switches  []SwitchDoc   `json:"switches"`
 	// BufferBytes is the per-switch capacity; MaxOccupancy the sampled
 	// whole-run peak; Events the simulator events executed.
-	BufferBytes  int       `json:"buffer_bytes"`
-	MaxOccupancy int       `json:"max_occupancy"`
-	Events       uint64    `json:"events"`
-	Trace        *TraceDoc `json:"trace,omitempty"`
+	BufferBytes  int    `json:"buffer_bytes"`
+	MaxOccupancy int    `json:"max_occupancy"`
+	Events       uint64 `json:"events"`
+	// Faults holds the per-link fault-injection counters of a degraded-
+	// link run, in wiring order; absent on ideal-link runs.
+	Faults []FaultLinkDoc `json:"faults,omitempty"`
+	Trace  *TraceDoc      `json:"trace,omitempty"`
 }
 
 // Doc distills the result into its JSON document form. withTrace
@@ -274,6 +291,13 @@ func (r *Result) Doc(withTrace bool) (*ResultDoc, error) {
 		}
 		doc.Switches = append(doc.Switches, sd)
 	}
+	for _, l := range r.FaultLinks {
+		doc.Faults = append(doc.Faults, FaultLinkDoc{
+			Name: l.Name, Class: l.Class.String(),
+			Offered: l.Offered, Delivered: l.Delivered, Dropped: l.Dropped,
+			Duplicated: l.Duplicated, Held: l.Held, Reordered: l.Reordered,
+		})
+	}
 	if withTrace && len(r.SampleTimes) > 0 {
 		td := &TraceDoc{SampleEvery: r.SampleEvery, Times: r.SampleTimes}
 		for i := range r.Telemetry {
@@ -282,7 +306,8 @@ func (r *Result) Doc(withTrace bool) (*ResultDoc, error) {
 			for q := range tel.Queues {
 				qt := &tel.Queues[q]
 				td.Queues = append(td.Queues, QueueSeriesDoc{
-					Name: tel.Name + ":" + qt.Label(), Occupancy: qt.Series, Threshold: qt.Threshold,
+					Name: tel.Name + ":" + qt.Label(), Occupancy: qt.Series,
+					Threshold: qt.Threshold, ECN: qt.ECNMarks,
 				})
 			}
 		}
@@ -339,7 +364,7 @@ func (d *ResultDoc) WriteTraceCSV(w io.Writer, stride int) error {
 	for i, t := range d.Trace.Times {
 		times[i] = t.Seconds()
 	}
-	series := make([]trace.Series, 0, len(d.Trace.Switches)+2*len(d.Trace.Queues))
+	series := make([]trace.Series, 0, len(d.Trace.Switches)+3*len(d.Trace.Queues))
 	for _, s := range d.Trace.Switches {
 		series = append(series, trace.Series{Name: s.Name, Values: s.Values})
 	}
@@ -347,6 +372,9 @@ func (d *ResultDoc) WriteTraceCSV(w io.Writer, stride int) error {
 		series = append(series,
 			trace.Series{Name: q.Name, Values: q.Occupancy},
 			trace.Series{Name: q.Name + ":thr", Values: q.Threshold})
+		if len(q.ECN) > 0 {
+			series = append(series, trace.Series{Name: q.Name + ":ecn", Values: q.ECN})
+		}
 	}
 	times, series = strideSeries(times, series, stride)
 	return trace.WriteCSV(w, times, series)

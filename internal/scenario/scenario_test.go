@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"occamy/internal/experiments"
+	"occamy/internal/linkfault"
 	"occamy/internal/sim"
 )
 
@@ -143,6 +144,11 @@ func TestSetFieldPaths(t *testing.T) {
 		{"workloads[0].load", "0.4"},
 		{"workloads[1].interval", "3ms"},
 		{"seed", "7"},
+		// Fault paths allocate the nil optional blocks on the way and
+		// accept the JSON spellings (dashes, underscores).
+		{"faults.host-leaf.loss_prob", "0.05"},
+		{"faults.all.jitter_max", "10us"},
+		{"faults.leaf-spine.ge_bad_loss_prob", "0.25"},
 	} {
 		if err := SetField(&spec, c.path, c.val); err != nil {
 			t.Errorf("SetField(%s=%s): %v", c.path, c.val, err)
@@ -152,6 +158,11 @@ func TestSetFieldPaths(t *testing.T) {
 		spec.Topology.HostsPerLeaf != 8 || spec.Workloads[0].Load != 0.4 ||
 		spec.Workloads[1].Interval.Millis() != 3 || spec.Seed != 7 {
 		t.Errorf("fields not applied: %+v", spec)
+	}
+	if spec.Faults == nil || spec.Faults.HostLeaf == nil || spec.Faults.HostLeaf.LossProb != 0.05 ||
+		spec.Faults.All == nil || spec.Faults.All.JitterMax != 10*sim.Microsecond ||
+		spec.Faults.LeafSpine == nil || spec.Faults.LeafSpine.GEBadLossProb != 0.25 {
+		t.Errorf("fault fields not applied: %+v", spec.Faults)
 	}
 	if err := SetField(&spec, "no.such.field", "1"); err == nil {
 		t.Error("bogus path accepted")
@@ -330,6 +341,28 @@ func TestValidateRejectsNonsense(t *testing.T) {
 		}},
 		{"negative priority", func(s *Spec) {
 			s.Workloads = []Workload{{Kind: WLBackground, Load: 0.5, Priority: -1}}
+		}},
+		{"fault loss prob over 1", func(s *Spec) {
+			s.Faults = &Faults{All: &linkfault.Profile{LossProb: 1.5}}
+		}},
+		{"fault negative dup prob", func(s *Spec) {
+			s.Faults = &Faults{HostLeaf: &linkfault.Profile{DupProb: -0.1}}
+		}},
+		{"fault GE bad-loss prob over 1", func(s *Spec) {
+			s.Faults = &Faults{LeafSpine: &linkfault.Profile{GEBadLossProb: 2, GEGoodToBad: 0.01, GEBadToGood: 0.1}}
+		}},
+		{"fault reorder without hold", func(s *Spec) {
+			s.Faults = &Faults{All: &linkfault.Profile{ReorderProb: 0.1}}
+		}},
+		{"fault negative reorder hold", func(s *Spec) {
+			s.Faults = &Faults{All: &linkfault.Profile{ReorderProb: 0.1, ReorderHold: -sim.Microsecond}}
+		}},
+		{"fault negative jitter", func(s *Spec) {
+			s.Faults = &Faults{All: &linkfault.Profile{JitterMax: -sim.Microsecond}}
+		}},
+		{"faults on raw injection", func(s *Spec) {
+			s.Workloads = []Workload{{Kind: WLCBR, RateBps: 1e9}}
+			s.Faults = &Faults{All: &linkfault.Profile{LossProb: 0.01}}
 		}},
 	} {
 		spec := Spec{

@@ -267,6 +267,11 @@ type Spec struct {
 	Policy    Policy     `json:"policy"`
 	Workloads []Workload `json:"workloads"`
 
+	// Faults optionally degrades the topology's links with per-class
+	// fault profiles (loss, bursty loss, duplication, reordering,
+	// jitter); see faults.go. Nil keeps every link ideal.
+	Faults *Faults `json:"faults,omitempty"`
+
 	// Warmup delays the gating incast so background traffic reaches
 	// steady state (default 2ms when a gating incast exists).
 	Warmup sim.Duration `json:"warmup,omitempty"`
@@ -407,6 +412,14 @@ func (s Spec) Validate() error {
 	}
 	if s.Duration < 0 || s.Warmup < 0 {
 		return fmt.Errorf("scenario %q: negative duration/warmup", s.Name)
+	}
+	if err := s.Faults.validate(s.Name); err != nil {
+		return err
+	}
+	if s.Faults != nil && s.Raw() {
+		// Raw injection bypasses hosts and links entirely; a faults block
+		// there would silently do nothing.
+		return fmt.Errorf("scenario %q: faults cannot apply to raw (cbr/burst) injection", s.Name)
 	}
 	if _, err := s.Topology.schedKind(); err != nil {
 		return err

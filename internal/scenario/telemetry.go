@@ -46,6 +46,9 @@ type QueueTelemetry struct {
 	// instants, clamped to the buffer capacity.
 	Series    []float64
 	Threshold []float64
+	// ECNMarks is the queue's cumulative ECN-mark counter at the same
+	// instants — the marking dynamics driving DCTCP's feedback loop.
+	ECNMarks []float64
 }
 
 // Label renders the queue's position as "p<port>q<class>".
@@ -105,6 +108,7 @@ func newTelemetry(sw *switchsim.Switch, rec *switchsim.Recorder) SwitchTelemetry
 			MinHeadroom: rec.QueueMinHeadroom(q),
 			Series:      rec.QueueSeries[q],
 			Threshold:   rec.ThresholdSeries[q],
+			ECNMarks:    rec.ECNSeries[q],
 		}
 	}
 	return t
@@ -313,7 +317,8 @@ func (r *Result) TraceSeries() (times []float64, series []trace.Series) {
 // QueueTraceSeries returns the aligned per-queue series of every
 // switch: for each (port, class) queue, its occupancy series
 // ("<switch>:p<P>q<C>") immediately followed by its policy-threshold
-// series ("<switch>:p<P>q<C>:thr") — the Fig 3/11-style overlay pairs.
+// series ("<switch>:p<P>q<C>:thr") — the Fig 3/11-style overlay pairs —
+// and its cumulative ECN-mark series ("<switch>:p<P>q<C>:ecn").
 func (r *Result) QueueTraceSeries() (times []float64, series []trace.Series) {
 	if len(r.Telemetry) == 0 {
 		return nil, nil
@@ -328,15 +333,16 @@ func (r *Result) QueueTraceSeries() (times []float64, series []trace.Series) {
 			base := tel.Name + ":" + qt.Label()
 			series = append(series,
 				trace.Series{Name: base, Values: qt.Series},
-				trace.Series{Name: base + ":thr", Values: qt.Threshold})
+				trace.Series{Name: base + ":thr", Values: qt.Threshold},
+				trace.Series{Name: base + ":ecn", Values: qt.ECNMarks})
 		}
 	}
 	return times, series
 }
 
 // WriteTraceCSV dumps the recorded time series as CSV: one whole-switch
-// occupancy column per switch, then per-queue occupancy and threshold
-// column pairs for every queue of every switch.
+// occupancy column per switch, then per-queue occupancy, threshold, and
+// cumulative ECN-mark columns for every queue of every switch.
 func (r *Result) WriteTraceCSV(w io.Writer) error {
 	return r.WriteTraceCSVStride(w, 1)
 }

@@ -185,13 +185,19 @@ func TestTraceOutputs(t *testing.T) {
 		queues += len(res.Telemetry[i].Queues)
 	}
 	header := strings.Split(lines[0], ",")
-	if header[0] != "time_s" || len(header) != 1+len(res.Telemetry)+2*queues {
+	if header[0] != "time_s" || len(header) != 1+len(res.Telemetry)+3*queues {
 		t.Fatalf("CSV header has %d columns for %d switches and %d queues", len(header), len(res.Telemetry), queues)
 	}
-	// Each queue column is immediately followed by its threshold column.
+	// Each queue column is immediately followed by its threshold column,
+	// and that by the queue's cumulative ECN-mark column.
 	for i, col := range header {
 		if strings.HasSuffix(col, ":thr") && header[i-1]+":thr" != col {
 			t.Errorf("threshold column %q not paired with its queue column (%q precedes)", col, header[i-1])
+		}
+		if strings.HasSuffix(col, ":ecn") &&
+			(!strings.HasSuffix(header[i-1], ":thr") ||
+				strings.TrimSuffix(header[i-1], ":thr") != strings.TrimSuffix(col, ":ecn")) {
+			t.Errorf("ecn column %q not paired with its threshold column (%q precedes)", col, header[i-1])
 		}
 	}
 	for _, l := range lines[1:] {

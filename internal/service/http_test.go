@@ -299,6 +299,11 @@ func FuzzPostRun(f *testing.F) {
 	f.Add([]byte(`[{}]`))
 	f.Add([]byte(`nul`))
 	f.Add([]byte(``))
+	// Malformed fault blocks must come back 4xx, never 5xx.
+	f.Add([]byte(`{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},` +
+		`"workloads":[{"kind":"background","load":0.5}],"faults":{"all":{"loss_prob":7}}}`))
+	f.Add([]byte(`{"name":"x","faults":{"spine-core":{"loss_prob":0.1}}}`))
+	f.Add([]byte(`{"name":"x","faults":{"all":{"jitter_max":"-4us"}}}`))
 
 	s, err := New(Config{Workers: 1, QueueDepth: 64})
 	if err != nil {

@@ -32,6 +32,10 @@ type Recorder struct {
 	// the clamp keeps the overlay on the occupancy scale).
 	QueueSeries     [][]float64
 	ThresholdSeries [][]float64
+	// ECNSeries[q] is queue q's cumulative ECN-mark counter at the same
+	// instants: the marking dynamics behind a DCTCP run (a flat segment
+	// is a quiet queue, a steep one a marking burst).
+	ECNSeries [][]float64
 
 	peak        int
 	sum         float64
@@ -50,6 +54,7 @@ func NewRecorder(sw *Switch) *Recorder {
 		PortSeries:      make([][]float64, sw.NumPorts()),
 		QueueSeries:     make([][]float64, sw.NumQueues()),
 		ThresholdSeries: make([][]float64, sw.NumQueues()),
+		ECNSeries:       make([][]float64, sw.NumQueues()),
 		portPeak:        make([]int, sw.NumPorts()),
 		portSum:         make([]float64, sw.NumPorts()),
 		queuePeak:       make([]int, sw.NumQueues()),
@@ -93,6 +98,7 @@ func (r *Recorder) Sample(now sim.Time) {
 		}
 		r.QueueSeries[q] = append(r.QueueSeries[q], float64(l))
 		r.ThresholdSeries[q] = append(r.ThresholdSeries[q], float64(thr))
+		r.ECNSeries[q] = append(r.ECNSeries[q], float64(r.sw.QueueStats(q).ECNMarked))
 		if l > r.queuePeak[q] {
 			r.queuePeak[q] = l
 		}

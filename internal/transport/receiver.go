@@ -15,6 +15,8 @@ type Receiver struct {
 	rcvNxt int64
 	ooo    map[int64]int64 // seq -> segment end, buffered out of order
 
+	lastDataID uint64 // last data packet identity, to shed link duplicates
+
 	done bool
 	// OnComplete fires when the last payload byte arrives (the FCT/QCT
 	// measurement point used by the workloads).
@@ -37,6 +39,15 @@ func (r *Receiver) OnPacket(p *pkt.Packet) {
 	if p.Ack {
 		return
 	}
+	// A faulty link can deliver the same data packet twice; the copies
+	// share the original's packet ID (retransmissions get fresh IDs, so
+	// they are never mistaken for link duplicates and always re-ACKed).
+	// Processing the copy would emit a duplicate ACK the sender could
+	// misread as the fast-retransmit loss signal.
+	if p.ID != 0 && p.ID == r.lastDataID {
+		return
+	}
+	r.lastDataID = p.ID
 	if p.Seq == r.rcvNxt {
 		r.rcvNxt = p.End()
 		// Drain any contiguous out-of-order segments.

@@ -20,7 +20,8 @@ type Sender struct {
 
 	dupAcks    int
 	inRecovery bool
-	recover    int64 // fast-recovery exit point
+	recover    int64  // fast-recovery exit point
+	lastAckID  uint64 // last ACK packet identity, to shed link duplicates
 
 	// RTO state (RFC 6298).
 	srtt, rttvar sim.Duration
@@ -150,11 +151,26 @@ func (s *Sender) OnPacket(p *pkt.Packet) {
 	if !p.Ack || s.done {
 		return
 	}
+	// A faulty link can deliver the same ACK twice. Every distinct ACK
+	// carries a fresh packet ID, so an ID repeat is the duplicate copy,
+	// not new information — counting it as a dup ACK would fake the
+	// triple-dupACK loss signal.
+	if p.ID != 0 && p.ID == s.lastAckID {
+		return
+	}
+	s.lastAckID = p.ID
 	now := s.net.Now()
 	switch {
 	case p.AckNo > s.sndUna:
 		newly := p.AckNo - s.sndUna
 		s.sndUna = p.AckNo
+		if p.AckNo > s.sndNxt {
+			// A pre-timeout ACK released after the Go-back-N reset
+			// (sndNxt = sndUna) acknowledges past sndNxt. Those bytes
+			// are delivered; resending from the stale sndNxt would push
+			// already-acknowledged data and drive inflight negative.
+			s.sndNxt = p.AckNo
+		}
 		s.dupAcks = 0
 		s.sampleRTT(now - p.SentAt)
 		s.backoff = 0
@@ -173,7 +189,10 @@ func (s *Sender) OnPacket(p *pkt.Packet) {
 		}
 		s.armTimer()
 		s.trySend()
-	case p.AckNo == s.sndUna:
+	case p.AckNo == s.sndUna && s.sndNxt > s.sndUna:
+		// With nothing outstanding there is nothing a fast retransmit
+		// could repair; a same-AckNo arrival then is a stale or
+		// duplicated ACK, not a loss signal.
 		s.dupAcks++
 		if s.dupAcks == s.dupThreshold() && !s.inRecovery {
 			s.inRecovery = true

@@ -14,6 +14,7 @@ type chanNet struct {
 	delay    sim.Duration
 	drop     func(p *pkt.Packet) bool
 	mark     func(p *pkt.Packet) bool
+	dup      func(p *pkt.Packet) bool // deliver a link-level copy (same ID) too
 	handlers map[pkt.NodeID]Handler
 	sent     int
 }
@@ -38,6 +39,14 @@ func (n *chanNet) Send(p *pkt.Packet) {
 	}
 	if n.mark != nil && p.ECNCapable && n.mark(p) {
 		p.CE = true
+	}
+	if n.dup != nil && n.dup(p) {
+		cp := *p // link duplicate: identical bytes, identical ID
+		n.eng.After(n.delay, func() {
+			if h := n.handlers[cp.Dst]; h != nil {
+				h.OnPacket(&cp)
+			}
+		})
 	}
 	n.eng.After(n.delay, func() {
 		if h := n.handlers[p.Dst]; h != nil {
@@ -333,6 +342,152 @@ func TestTransferCompletesWithReno(t *testing.T) {
 	n.eng.Run()
 	if !r.Done() {
 		t.Fatal("Reno transfer did not complete")
+	}
+}
+
+// A link that duplicates every ACK must not fake the triple-dupACK loss
+// signal: the copies carry the same packet ID and are shed at the sender.
+func TestLinkDuplicatedAcksCauseNoSpuriousRetransmit(t *testing.T) {
+	n := newChanNet(50 * sim.Microsecond)
+	n.dup = func(p *pkt.Packet) bool { return p.Ack }
+	s, r := pair(n, 100_000, NewDCTCP(pkt.MSS, 10), Options{DupThresh: 3})
+	s.Start()
+	n.eng.Run()
+	if !r.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	if s.Retransmits() != 0 || s.Timeouts() != 0 {
+		t.Fatalf("duplicated ACKs on a lossless link caused %d retx, %d RTOs",
+			s.Retransmits(), s.Timeouts())
+	}
+}
+
+// A link that duplicates every data packet must not make the receiver
+// emit duplicate ACKs for the copies (which the sender would count
+// toward fast retransmit): the copies are shed at the receiver.
+func TestLinkDuplicatedDataCausesNoSpuriousRetransmit(t *testing.T) {
+	n := newChanNet(50 * sim.Microsecond)
+	n.dup = func(p *pkt.Packet) bool { return !p.Ack }
+	s, r := pair(n, 100_000, NewDCTCP(pkt.MSS, 10), Options{DupThresh: 3})
+	s.Start()
+	n.eng.Run()
+	if !r.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	if r.Received() != 100_000 {
+		t.Fatalf("received %d, want 100000", r.Received())
+	}
+	if s.Retransmits() != 0 || s.Timeouts() != 0 {
+		t.Fatalf("duplicated data on a lossless link caused %d retx, %d RTOs",
+			s.Retransmits(), s.Timeouts())
+	}
+}
+
+// Duplication and loss together: every surviving packet is duplicated
+// and 5% are lost. The flow must still complete, and recovery must be
+// driven by real loss signals only.
+func TestDuplicationPlusLossCompletes(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		r := sim.NewRand(seed)
+		n := newChanNet(20 * sim.Microsecond)
+		n.drop = func(p *pkt.Packet) bool { return r.Float64() < 0.05 }
+		n.dup = func(p *pkt.Packet) bool { return true }
+		s, rcv := pair(n, 50_000, NewDCTCP(pkt.MSS, 10), Options{MinRTO: sim.Millisecond})
+		s.Start()
+		n.eng.RunUntil(20 * sim.Second)
+		if !rcv.Done() {
+			t.Fatalf("seed %d: stuck at %d/50000", seed, rcv.Received())
+		}
+	}
+}
+
+// A hold-back reorder that lets fewer data packets than the fixed dup-ACK
+// threshold overtake the held segment must cause no retransmission of any
+// kind. Holding seq 116800 of a 120000-byte flow leaves exactly two
+// segments (118260 and the FIN at 119720) to overtake: two dup ACKs < 3.
+func TestReorderBelowDupThresholdNoRetransmit(t *testing.T) {
+	n := newChanNet(20 * sim.Microsecond)
+	reordered := false
+	n.drop = func(p *pkt.Packet) bool {
+		if p.Ack || reordered || p.Seq != 116800 {
+			return false
+		}
+		reordered = true
+		hp := p
+		// Release well before the 5ms MinRTO so only the overtake path runs.
+		n.eng.After(300*sim.Microsecond, func() {
+			if h := n.handlers[hp.Dst]; h != nil {
+				h.OnPacket(hp)
+			}
+		})
+		return true
+	}
+	s, r := pair(n, 120_000, NewDCTCP(pkt.MSS, 10), Options{DupThresh: 3})
+	s.Start()
+	n.eng.Run()
+	if !r.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	if !reordered {
+		t.Fatal("test never reordered the target packet")
+	}
+	if s.Retransmits() != 0 || s.Timeouts() != 0 {
+		t.Fatalf("reordering below dup-ACK threshold caused %d retx, %d RTOs",
+			s.Retransmits(), s.Timeouts())
+	}
+}
+
+// invariantHandler forwards to the sender and checks window sanity after
+// every ACK: sndNxt may never fall behind sndUna, and inflight may never
+// go negative (the stale-ACK-after-Go-back-N corruption mode).
+type invariantHandler struct {
+	t *testing.T
+	s *Sender
+}
+
+func (h invariantHandler) OnPacket(p *pkt.Packet) {
+	h.s.OnPacket(p)
+	if h.s.sndNxt < h.s.sndUna {
+		h.t.Fatalf("window corrupted: sndNxt %d < sndUna %d after ACK %d",
+			h.s.sndNxt, h.s.sndUna, p.AckNo)
+	}
+}
+
+// ACKs held back past the RTO arrive after the Go-back-N reset with
+// AckNo beyond sndNxt. The sender must absorb them without re-sending
+// already-acknowledged bytes or corrupting its window state.
+func TestStaleAckAfterRTOKeepsGoBackNConsistent(t *testing.T) {
+	n := newChanNet(50 * sim.Microsecond)
+	heldAcks := 0
+	n.drop = func(p *pkt.Packet) bool {
+		// Hold every ACK of the first 2ms until well past the 1ms RTO, so
+		// the Go-back-N reset happens first and the held cumulative ACKs
+		// then arrive with AckNo beyond the rewound sndNxt.
+		if p.Ack && n.eng.Now() < 2*sim.Millisecond {
+			heldAcks++
+			hp := p
+			n.eng.After(4*sim.Millisecond, func() {
+				if h := n.handlers[hp.Dst]; h != nil {
+					h.OnPacket(hp)
+				}
+			})
+			return true
+		}
+		return false
+	}
+	s, r := pair(n, 60_000, NewDCTCP(pkt.MSS, 10),
+		Options{MinRTO: sim.Millisecond, InitRTO: sim.Millisecond})
+	n.handlers[0] = invariantHandler{t, s}
+	s.Start()
+	n.eng.RunUntil(20 * sim.Second)
+	if !r.Done() || !s.Done() {
+		t.Fatalf("transfer stuck: receiver %d/60000, sender done %v", r.Received(), s.Done())
+	}
+	if heldAcks < 5 {
+		t.Fatalf("test held only %d ACKs", heldAcks)
+	}
+	if s.Timeouts() == 0 {
+		t.Fatal("scenario was meant to force at least one RTO")
 	}
 }
 

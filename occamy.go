@@ -74,6 +74,7 @@ import (
 	"occamy/internal/core"
 	"occamy/internal/experiments"
 	"occamy/internal/hw"
+	"occamy/internal/linkfault"
 	"occamy/internal/metrics"
 	"occamy/internal/netsim"
 	"occamy/internal/pkt"
@@ -312,6 +313,21 @@ type ScenarioPolicy = scenario.Policy
 // "incast", "permutation", "alltoall", "allreduce", "longlived", "cbr",
 // "burst").
 type ScenarioWorkload = scenario.Workload
+
+// ScenarioFaults selects per-link-class fault profiles for a spec's
+// optional "faults" block: "all" as the shared fallback, "host-leaf"
+// for host access links, "leaf-spine" for fabric links.
+type ScenarioFaults = scenario.Faults
+
+// LinkFaultProfile configures one link class's fault emulation: i.i.d.
+// and Gilbert–Elliott loss, duplication, hold-back reordering, and
+// jitter (see internal/linkfault).
+type LinkFaultProfile = linkfault.Profile
+
+// LinkFaultStats is one faulted link's injection counters (offered,
+// delivered, dropped, duplicated, held, reordered), surfaced per run
+// in ScenarioResult.FaultLinks and ScenarioResult.FaultTable.
+type LinkFaultStats = linkfault.LinkStats
 
 // ScenarioResult carries one scenario run's metrics, including the deep
 // telemetry behind Result.TailTable and Result.PerSwitchTable.
