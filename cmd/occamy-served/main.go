@@ -13,20 +13,31 @@
 //	curl -X POST 'localhost:8080/v1/runs?name=incast-storm-256&scale=quick'
 //	curl localhost:8080/v1/runs/r1
 //	curl localhost:8080/v1/runs/r1/trace.csv?stride=4
+//	curl localhost:8080/v1/stats
 //	occamy-scenario export mixed-load-90 > spec.json
 //	curl -X POST --data-binary @spec.json localhost:8080/v1/runs
 //	curl -X POST -d '{"name":"burst-absorb","axes":["policy.kind=dt,occamy"]}' \
 //	    localhost:8080/v1/sweeps
 //
+// SIGINT/SIGTERM shut the server down gracefully: the listener stops
+// accepting, in-flight HTTP requests drain, and Service.Close resolves
+// every job (running simulations are canceled at their next engine
+// chunk; nothing is orphaned mid-write to the persistent cache).
+//
 // See SERVICE.md for the endpoint and result-document reference.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"occamy/internal/service"
 )
@@ -38,24 +49,64 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist cached results to this directory (empty = memory only)")
 	queueDepth := flag.Int("queue", 0, "maximum queued jobs (0 = 1024)")
 	maxJobs := flag.Int("max-jobs", 0, "job-ledger bound; oldest finished jobs expire past it (0 = 4096)")
+	maxSweep := flag.Int("max-sweep-points", 0, "maximum expanded grid points per sweep request (0 = 256)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
 	flag.Parse()
 
-	svc, err := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		MaxJobs:    *maxJobs,
-		CacheBytes: *cacheMB << 20,
-		CacheDir:   *cacheDir,
-	})
-	if err != nil {
+	if err := run(*addr, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		MaxJobs:        *maxJobs,
+		MaxSweepPoints: *maxSweep,
+		CacheBytes:     *cacheMB << 20,
+		CacheDir:       *cacheDir,
+	}, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// run owns the server lifecycle so every shutdown path — signal or
+// listener error — goes through http.Server.Shutdown and Service.Close
+// in order. log.Fatal is deliberately absent: it would skip both,
+// killing running jobs mid-simulation and losing cache write-through.
+func run(addr string, cfg service.Config, drain time.Duration) error {
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 
-	log.Printf("occamy-served listening on %s (workers=%d, cache=%dMB, dir=%q)",
-		*addr, *workers, *cacheMB, *cacheDir)
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
-		log.Fatal(err)
+	// Register the signal handler before the listener opens: a SIGTERM
+	// arriving the instant the port is up must already be ours.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("occamy-served listening on %s (workers=%d, cache=%dMB, dir=%q)",
+			addr, cfg.Workers, cfg.CacheBytes>>20, cfg.CacheDir)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err // ListenAndServe never returns nil
+	case <-ctx.Done():
 	}
+
+	log.Printf("occamy-served: shutting down (draining HTTP for up to %v)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		// Stragglers past the budget are closed hard; the job ledger is
+		// still resolved cleanly by svc.Close below.
+		log.Printf("occamy-served: HTTP drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	svc.Close() // idempotent with the defer; cancels + drains all jobs
+	log.Printf("occamy-served: all jobs resolved, bye")
+	return nil
 }

@@ -1,0 +1,283 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"occamy/internal/scenario"
+	"occamy/internal/service"
+)
+
+// TestScheduleDeterminism pins the core loadgen contract: the same
+// (config, seed) yields a byte-identical schedule; a different seed
+// does not.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{
+		Targets:     []string{"http://a", "http://b"},
+		Requests:    200,
+		Rate:        100,
+		Seed:        42,
+		MutateEvery: 5,
+		SweepEvery:  9,
+		ScaleMix:    map[scenario.Scale]float64{scenario.ScaleQuick: 0.9, scenario.ScaleFull: 0.1},
+	}
+	a, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+
+	cfg.Seed = 43
+	c, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// Mutations and sweeps land on the exact configured cadence.
+	for i, r := range a {
+		if got, want := r.Mutated, (i+1)%cfg.MutateEvery == 0; got != want {
+			t.Fatalf("request %d: Mutated=%v, want %v", i, got, want)
+		}
+		if got, want := r.Sweep, (i+1)%cfg.SweepEvery == 0; got != want {
+			t.Fatalf("request %d: Sweep=%v, want %v", i, got, want)
+		}
+		if want := []string{"/v1/runs", "/v1/sweeps"}[b2i(r.Sweep)]; r.Path != want {
+			t.Fatalf("request %d: Path=%q, want %q", i, r.Path, want)
+		}
+		if r.Target != i%2 {
+			t.Fatalf("request %d: Target=%d, want round-robin %d", i, r.Target, i%2)
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestUniformSpacing pins the uniform process: every interarrival gap
+// is exactly 1/Rate.
+func TestUniformSpacing(t *testing.T) {
+	sched, err := BuildSchedule(Config{Requests: 50, Rate: 200, Process: ProcessUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sched[0].At
+	if want <= 0 {
+		t.Fatalf("first arrival at %v, want > 0", want)
+	}
+	for i := 1; i < len(sched); i++ {
+		if gap := sched[i].At - sched[i-1].At; gap != want {
+			t.Fatalf("gap %d is %v, want %v", i, gap, want)
+		}
+	}
+}
+
+// TestPoissonArrivalsVary sanity-checks the poisson process: gaps are
+// not all equal and the mean is in the right ballpark.
+func TestPoissonArrivalsVary(t *testing.T) {
+	sched, err := BuildSchedule(Config{Requests: 1000, Rate: 100, Process: ProcessPoisson, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[time.Duration]bool{}
+	var prev time.Duration
+	for _, r := range sched {
+		distinct[r.At-prev] = true
+		prev = r.At
+	}
+	if len(distinct) < 100 {
+		t.Fatalf("poisson gaps look degenerate: %d distinct values", len(distinct))
+	}
+	mean := sched[len(sched)-1].At.Seconds() / float64(len(sched))
+	if mean < 0.005 || mean > 0.02 { // nominal 0.01s at 100/s
+		t.Fatalf("mean interarrival %.4fs, want ~0.01s", mean)
+	}
+}
+
+// TestZipfSkew verifies the popularity model: the hottest scenario
+// (rank 0) takes a large share of the draws and dominates the coldest.
+func TestZipfSkew(t *testing.T) {
+	cfg := Config{Requests: 4000, Seed: 11, ZipfS: 1.3}
+	cfg = cfg.WithDefaults()
+	if len(cfg.Scenarios) < 3 {
+		t.Skipf("catalog too small for a skew test: %d exportable scenarios", len(cfg.Scenarios))
+	}
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range sched {
+		counts[r.Scenario]++
+	}
+	hot := counts[cfg.Scenarios[0]]
+	cold := counts[cfg.Scenarios[len(cfg.Scenarios)-1]]
+	if share := float64(hot) / float64(len(sched)); share < 0.35 {
+		t.Fatalf("hottest scenario share %.2f, want >= 0.35 (zipf s=1.3)", share)
+	}
+	if hot <= 4*cold {
+		t.Fatalf("hot/cold counts %d/%d: zipf skew missing", hot, cold)
+	}
+}
+
+// TestRunEndToEnd drives a seeded quick-scale load against a live
+// service handler and cross-checks the client report against the
+// server's /v1/stats ledger. Run with -race this doubles as the
+// stats-counter consistency test under concurrent load.
+func TestRunEndToEnd(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 4, CacheBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cfg := Config{
+		Targets: []string{ts.URL},
+		// Only the two fastest catalog entries: the test budget is the
+		// simulations, not the harness.
+		Scenarios:    []string{"quickstart", "burst-absorb"},
+		Requests:     60,
+		Rate:         400,
+		Seed:         3,
+		MutateEvery:  4,
+		SweepEvery:   10,
+		PollInterval: 2 * time.Millisecond,
+		JobTimeout:   60 * time.Second,
+	}
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Render())
+
+	// Client-side ledger: every request lands in exactly one bucket.
+	if got := rep.Done + rep.Failed + rep.Canceled + rep.Refused + rep.Errors; got != rep.Requests {
+		t.Fatalf("client ledger %d != requests %d", got, rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors: %v", rep.Errors, rep.FirstErrors)
+	}
+	if rep.Refused != 0 {
+		t.Fatalf("%d refusals at default queue depth", rep.Refused)
+	}
+	if rep.Done != rep.Requests {
+		t.Fatalf("done %d, want all %d", rep.Done, rep.Requests)
+	}
+	// The zipf mix repeats hot specs, so the content-addressed cache
+	// must see hits (mutated requests guarantee some misses too).
+	if rep.CacheHits == 0 {
+		t.Fatal("no cache hits under a zipf workload")
+	}
+	if rep.CacheHits == rep.Done {
+		t.Fatal("everything was a cache hit; mutations did not produce fresh fingerprints")
+	}
+	if rep.Latency.Count == 0 || rep.Latency.P50Ms <= 0 {
+		t.Fatalf("latency summary empty: %+v", rep.Latency)
+	}
+	if rep.Latency.P50Ms > rep.Latency.P99Ms || rep.Latency.P99Ms > rep.Latency.P999Ms {
+		t.Fatalf("quantiles not monotone: %+v", rep.Latency)
+	}
+
+	// Server-side ledger reconciles with the client view.
+	if len(rep.Targets) != 1 || rep.Targets[0].Stats == nil {
+		t.Fatalf("missing target stats: %+v", rep.Targets)
+	}
+	st := rep.Targets[0].Stats
+	c := st.Counters
+	if c.Submitted != int64(rep.Requests) {
+		t.Fatalf("server saw %d submissions, client sent %d", c.Submitted, rep.Requests)
+	}
+	if got := c.CacheHits + c.Coalesced + c.Enqueued + c.Refused; got != c.Submitted {
+		t.Fatalf("submission identity broken: hits %d + coalesced %d + enqueued %d + refused %d != submitted %d",
+			c.CacheHits, c.Coalesced, c.Enqueued, c.Refused, c.Submitted)
+	}
+	// The run has drained, so every enqueued job is terminal.
+	if got := c.Done + c.Failed + c.Canceled; got != c.Enqueued {
+		t.Fatalf("terminal identity broken: done %d + failed %d + canceled %d != enqueued %d",
+			c.Done, c.Failed, c.Canceled, c.Enqueued)
+	}
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("jobs left after drain: queued %d running %d", st.Queued, st.Running)
+	}
+	if st.Utilization < 0 || st.Utilization > 1 {
+		t.Fatalf("utilization %v out of [0,1]", st.Utilization)
+	}
+	// The latency middleware saw the traffic.
+	runs, ok := st.Endpoints["POST /v1/runs"]
+	if !ok || runs.Count == 0 {
+		t.Fatalf("no POST /v1/runs histogram in %v", st.Endpoints)
+	}
+	if stats, ok := st.Endpoints["GET /v1/stats"]; ok && stats.Count == 0 {
+		t.Fatal("GET /v1/stats histogram present but empty")
+	}
+}
+
+// TestRunRecordsRefusals pins the 503 path: a one-worker, tiny-queue
+// service under a burst must refuse, and the client must count it.
+func TestRunRecordsRefusals(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cfg := Config{
+		Targets:   []string{ts.URL},
+		Scenarios: []string{"incast-storm-256"},
+		// Paper-scale runs cannot finish during the burst, so with one
+		// worker and one queue slot the third submission onward must be
+		// refused regardless of machine speed.
+		ScaleMix: map[scenario.Scale]float64{scenario.ScalePaper: 1},
+		Requests: 10,
+		Rate:     5000,
+		Seed:     5,
+		// Every submission unique: no cache hits, no coalescing, so the
+		// queue must overflow.
+		MutateEvery:  1,
+		PollInterval: 5 * time.Millisecond,
+		// The two accepted jobs will not finish; give up on them fast
+		// (they count as errors, which this test doesn't gate on).
+		JobTimeout: 2 * time.Second,
+	}
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Refused == 0 {
+		t.Fatal("no refusals from a 1-worker/1-slot service under a 5000/s burst")
+	}
+	if rep.RefusalRate <= 0 {
+		t.Fatalf("refusal rate %v, want > 0", rep.RefusalRate)
+	}
+	st := rep.Targets[0].Stats
+	if st == nil || st.Counters.Refused != int64(rep.Refused) {
+		t.Fatalf("server refused %v, client counted %d", st.Counters, rep.Refused)
+	}
+}

@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"occamy/internal/metrics"
+	"occamy/internal/service"
+)
+
+// LatencySummary is the client-side submit-to-done distribution in
+// milliseconds (computed with the metrics quantile layer).
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+// TargetStats is one target's server-side view after the run.
+type TargetStats struct {
+	URL   string         `json:"url"`
+	Stats *service.Stats `json:"stats,omitempty"`
+	Err   string         `json:"error,omitempty"`
+}
+
+// Report is the load test result: the client-side ledger, the latency
+// distribution, and each target's /v1/stats snapshot.
+type Report struct {
+	Seed       uint64  `json:"seed"`
+	Process    string  `json:"process"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Requests   int     `json:"requests"`
+
+	// Client-observed outcome ledger. Requests == Done + Failed +
+	// Canceled + Refused + Errors (every scheduled request lands in
+	// exactly one bucket; timeouts count as Errors).
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	Refused  int `json:"refused"`
+	Errors   int `json:"errors"`
+
+	// CacheHits counts submissions answered terminal-on-arrival with
+	// the cached flag set; Mutated and Sweeps describe the schedule.
+	CacheHits int `json:"cache_hits"`
+	Mutated   int `json:"mutated"`
+	Sweeps    int `json:"sweeps"`
+
+	ElapsedSeconds   float64 `json:"elapsed_seconds"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"` // terminal outcomes / elapsed
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`    // hits / accepted submissions
+	RefusalRate      float64 `json:"refusal_rate"`       // refused / requests
+
+	Latency LatencySummary `json:"latency"`
+
+	Targets []TargetStats `json:"targets,omitempty"`
+
+	// FirstErrors carries up to 5 representative error strings so a
+	// failed CI run is diagnosable from the report alone.
+	FirstErrors []string `json:"first_errors,omitempty"`
+}
+
+// summarize folds the outcomes into a report.
+func summarize(cfg Config, sched []Request, outcomes []outcome, elapsed time.Duration) *Report {
+	rep := &Report{
+		Seed:           cfg.Seed,
+		Process:        cfg.Process,
+		RatePerSec:     cfg.Rate,
+		Requests:       len(sched),
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	for _, r := range sched {
+		if r.Mutated {
+			rep.Mutated++
+		}
+		if r.Sweep {
+			rep.Sweeps++
+		}
+	}
+	var lat []float64 // milliseconds
+	for _, o := range outcomes {
+		switch {
+		case o.err != nil:
+			rep.Errors++
+			if len(rep.FirstErrors) < 5 {
+				rep.FirstErrors = append(rep.FirstErrors, o.err.Error())
+			}
+			continue
+		case o.refused:
+			rep.Refused++
+			continue
+		}
+		switch o.state {
+		case "done":
+			rep.Done++
+		case "failed":
+			rep.Failed++
+		case "canceled":
+			rep.Canceled++
+		}
+		if o.cached {
+			rep.CacheHits++
+		}
+		lat = append(lat, float64(o.latency)/float64(time.Millisecond))
+	}
+	if elapsed > 0 {
+		rep.ThroughputPerSec = float64(rep.Done+rep.Failed+rep.Canceled) / elapsed.Seconds()
+	}
+	if accepted := rep.Done + rep.Failed + rep.Canceled; accepted > 0 {
+		rep.CacheHitRatio = float64(rep.CacheHits) / float64(accepted)
+	}
+	if rep.Requests > 0 {
+		rep.RefusalRate = float64(rep.Refused) / float64(rep.Requests)
+	}
+	rep.Latency = latencySummary(lat)
+	return rep
+}
+
+// latencySummary reduces millisecond samples through the metrics
+// quantile layer.
+func latencySummary(ms []float64) LatencySummary {
+	return LatencySummary{
+		Count:  len(ms),
+		MeanMs: round3(metrics.Mean(ms)),
+		P50Ms:  round3(metrics.Percentile(ms, 0.50)),
+		P90Ms:  round3(metrics.Percentile(ms, 0.90)),
+		P99Ms:  round3(metrics.Percentile(ms, 0.99)),
+		P999Ms: round3(metrics.Percentile(ms, 0.999)),
+	}
+}
+
+func round3(f float64) float64 { return float64(int64(f*1000+0.5)) / 1000 }
+
+// Render prints the human-readable report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "occamy-loadgen report (seed=%d process=%s rate=%.5g/s requests=%d)\n",
+		r.Seed, r.Process, r.RatePerSec, r.Requests)
+	fmt.Fprintf(&b, "  outcomes    done %d  failed %d  canceled %d  refused %d  errors %d\n",
+		r.Done, r.Failed, r.Canceled, r.Refused, r.Errors)
+	fmt.Fprintf(&b, "  schedule    mutated %d  sweep-bursts %d\n", r.Mutated, r.Sweeps)
+	fmt.Fprintf(&b, "  cache       hits %d  hit-ratio %.1f%%\n", r.CacheHits, 100*r.CacheHitRatio)
+	fmt.Fprintf(&b, "  refusals    rate %.2f%%\n", 100*r.RefusalRate)
+	fmt.Fprintf(&b, "  elapsed     %.2fs  throughput %.1f jobs/s\n", r.ElapsedSeconds, r.ThroughputPerSec)
+	fmt.Fprintf(&b, "  submit-to-done latency (ms): p50 %.3g  p90 %.3g  p99 %.3g  p999 %.3g  mean %.3g\n",
+		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.P999Ms, r.Latency.MeanMs)
+	for _, e := range r.FirstErrors {
+		fmt.Fprintf(&b, "  error: %s\n", e)
+	}
+	for _, t := range r.Targets {
+		if t.Err != "" {
+			fmt.Fprintf(&b, "server %s: stats unavailable: %s\n", t.URL, t.Err)
+			continue
+		}
+		s := t.Stats
+		fmt.Fprintf(&b, "server %s (uptime %.1fs, workers %d):\n", t.URL, s.UptimeSeconds, s.Workers)
+		fmt.Fprintf(&b, "  queue %d/%d  queued %d  running %d  utilization %.1f%%\n",
+			s.QueueLen, s.QueueCap, s.Queued, s.Running, 100*s.Utilization)
+		c := s.Counters
+		fmt.Fprintf(&b, "  ledger  submitted %d = cache_hits %d + coalesced %d + enqueued %d + refused %d\n",
+			c.Submitted, c.CacheHits, c.Coalesced, c.Enqueued, c.Refused)
+		fmt.Fprintf(&b, "          enqueued %d -> done %d  failed %d  canceled %d\n",
+			c.Enqueued, c.Done, c.Failed, c.Canceled)
+		fmt.Fprintf(&b, "  cache   entries %d  bytes %d  hits %d  misses %d\n",
+			s.Cache.Entries, s.Cache.Bytes, s.Cache.Hits, s.Cache.Misses)
+		pats := make([]string, 0, len(s.Endpoints))
+		for pat := range s.Endpoints {
+			pats = append(pats, pat)
+		}
+		sort.Strings(pats)
+		for _, pat := range pats {
+			e := s.Endpoints[pat]
+			fmt.Fprintf(&b, "  %-28s n=%-6d p50 %.3gms  p99 %.3gms  p999 %.3gms\n",
+				pat, e.Count, e.P50Ms, e.P99Ms, e.P999Ms)
+		}
+	}
+	return b.String()
+}
+
+// Thresholds are the CI gate: any violated bound fails the run.
+type Thresholds struct {
+	// MaxP99 bounds the client-side p99 submit-to-done latency
+	// (0 = unchecked).
+	MaxP99 time.Duration
+	// MinHitRatio is the minimum cache hit ratio (negative = unchecked;
+	// 0 asserts "no worse than none").
+	MinHitRatio float64
+	// MaxRefusalRate caps Refused/Requests (negative = unchecked).
+	MaxRefusalRate float64
+	// MaxErrors caps transport/protocol errors (negative = unchecked).
+	MaxErrors int
+}
+
+// Check returns every violated threshold.
+func (r *Report) Check(t Thresholds) []error {
+	var errs []error
+	if t.MaxP99 > 0 {
+		if p99 := time.Duration(r.Latency.P99Ms * float64(time.Millisecond)); p99 > t.MaxP99 {
+			errs = append(errs, fmt.Errorf("p99 %.3gms exceeds bound %s", r.Latency.P99Ms, t.MaxP99))
+		}
+	}
+	if t.MinHitRatio >= 0 && r.CacheHitRatio < t.MinHitRatio {
+		errs = append(errs, fmt.Errorf("cache hit ratio %.3f below bound %.3f", r.CacheHitRatio, t.MinHitRatio))
+	}
+	if t.MaxRefusalRate >= 0 && r.RefusalRate > t.MaxRefusalRate {
+		errs = append(errs, fmt.Errorf("refusal rate %.3f exceeds bound %.3f", r.RefusalRate, t.MaxRefusalRate))
+	}
+	if t.MaxErrors >= 0 && r.Errors > t.MaxErrors {
+		errs = append(errs, fmt.Errorf("%d request errors exceed bound %d", r.Errors, t.MaxErrors))
+	}
+	return errs
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	// A known uniform population: 1..1000 ms.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	// Bucketed quantiles are approximate: the growth factor bounds the
+	// relative error, so assert within ±growth.
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) / histGrowth)
+		hi := time.Duration(float64(tc.want) * histGrowth)
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", tc.q, got, lo, hi)
+		}
+	}
+	mean := h.Mean()
+	if mean < 450*time.Millisecond || mean > 550*time.Millisecond {
+		t.Errorf("mean = %v, want ~500ms", mean)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-5 * time.Second) // clamped to 0
+	h.Record(0)
+	h.Record(time.Nanosecond) // below min: first bucket
+	h.Record(time.Hour)       // above max: overflow bucket
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	// The overflow bucket caps at the histogram max.
+	if got := h.Quantile(1); got > time.Second {
+		t.Errorf("q1.0 = %v, want <= histogram max", got)
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("out-of-range quantiles must clamp to [0,1]")
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(r.ExpFloat64() * float64(10*time.Millisecond)))
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone: q%.2f=%v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// Record must be safe (and the counters exact) under concurrency — it
+// sits on the service's HTTP hot path.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewLatencyHistogram()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	var bucketSum uint64
+	for i := range h.counts {
+		bucketSum += h.counts[i].Load()
+	}
+	if bucketSum != goroutines*per {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, goroutines*per)
+	}
+	s := h.Snapshot()
+	if s.Count != goroutines*per || s.P50Ms <= 0 || s.P999Ms < s.P50Ms {
+		t.Errorf("snapshot inconsistent: %+v", s)
+	}
+}

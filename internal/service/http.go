@@ -2,11 +2,13 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"occamy/internal/scenario"
 )
@@ -24,6 +26,7 @@ import (
 //	DELETE /v1/runs/{id}              cancel
 //	POST   /v1/sweeps                 {spec|name, axes: ["path=v1,v2"]}
 //	GET    /v1/cache                  cache stats
+//	GET    /v1/stats                  service SLO stats (see stats.go)
 //
 // Spec parsing reuses scenario.ParseSpec, so the server is exactly as
 // strict as the CLI: unknown fields, malformed durations, and invalid
@@ -33,18 +36,35 @@ import (
 // maxSpecBytes bounds a submitted spec body; real specs are a few KB.
 const maxSpecBytes = 1 << 20
 
-// Handler returns the service's HTTP API.
+// Handler returns the service's HTTP API. Every route is wrapped in a
+// latency-recording middleware feeding the per-endpoint histograms that
+// GET /v1/stats reports.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	mux.HandleFunc("GET /v1/scenarios/{name}", s.handleScenarioExport)
-	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/runs", s.handleJobs)
-	mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/runs/{id}/trace.csv", s.handleTrace)
-	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
-	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
-	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	handle := func(pattern string, fn http.HandlerFunc) {
+		h := s.endpoints[pattern]
+		if h == nil {
+			// A pattern missing from endpointPatterns is a programming
+			// error; fail loudly in tests rather than silently dropping
+			// its latency series.
+			panic(fmt.Sprintf("service: route %q not in endpointPatterns", pattern))
+		}
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			fn(w, r)
+			h.Record(time.Since(start))
+		})
+	}
+	handle("GET /v1/scenarios", s.handleScenarios)
+	handle("GET /v1/scenarios/{name}", s.handleScenarioExport)
+	handle("POST /v1/runs", s.handleSubmit)
+	handle("GET /v1/runs", s.handleJobs)
+	handle("GET /v1/runs/{id}", s.handleJob)
+	handle("GET /v1/runs/{id}/trace.csv", s.handleTrace)
+	handle("DELETE /v1/runs/{id}", s.handleCancel)
+	handle("POST /v1/sweeps", s.handleSweep)
+	handle("GET /v1/cache", s.handleCache)
+	handle("GET /v1/stats", s.handleStats)
 	return mux
 }
 
@@ -276,7 +296,13 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.SubmitSweep(spec, axes)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		// Capacity refusals are retryable (503); everything else —
+		// including an over-cap grid — is a client error (400).
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
@@ -284,6 +310,10 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleCache(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cache.Stats())
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // encodeTableDoc marshals a table document compactly with a trailing

@@ -210,15 +210,15 @@ func TestHTTPCatalogSubmit(t *testing.T) {
 func TestHTTPBadRequests(t *testing.T) {
 	_, srv := startServer(t, Config{Workers: 1})
 	for name, body := range map[string]string{
-		"not json":        "}{",
-		"unknown field":   `{"name":"x","bogus":1,"topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"background","load":0.5}]}`,
-		"no name":         `{"topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"background","load":0.5}]}`,
-		"no workloads":    `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[]}`,
-		"bad policy":      `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"levitation"},"workloads":[{"kind":"background","load":0.5}]}`,
-		"negative load":   `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"background","load":-1}]}`,
-		"trailing":        `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"background","load":0.5}]}[]`,
-		"array":           `[1,2,3]`,
-		"huge dst_port":   `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"cbr","rate_bps":1e9,"dst_port":999}]}`,
+		"not json":      "}{",
+		"unknown field": `{"name":"x","bogus":1,"topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"background","load":0.5}]}`,
+		"no name":       `{"topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"background","load":0.5}]}`,
+		"no workloads":  `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[]}`,
+		"bad policy":    `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"levitation"},"workloads":[{"kind":"background","load":0.5}]}`,
+		"negative load": `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"background","load":-1}]}`,
+		"trailing":      `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"background","load":0.5}]}[]`,
+		"array":         `[1,2,3]`,
+		"huge dst_port": `{"name":"x","topology":{"kind":"single-switch"},"policy":{"kind":"dt"},"workloads":[{"kind":"cbr","rate_bps":1e9,"dst_port":999}]}`,
 	} {
 		var errBody map[string]string
 		code := post(t, srv.URL+"/v1/runs", body, &errBody)
@@ -329,4 +329,76 @@ func FuzzPostRun(f *testing.F) {
 			t.Fatalf("server error %d on malformed body: %.120s", code, body)
 		}
 	})
+}
+
+// An over-cap sweep grid is a 400 (client error), not a 503: retrying
+// it cannot succeed, the grid itself is too big.
+func TestHTTPSweepCap(t *testing.T) {
+	_, srv := startServer(t, Config{Workers: 1, MaxSweepPoints: 4})
+
+	var errBody map[string]string
+	code := post(t, srv.URL+"/v1/sweeps",
+		`{"name":"burst-absorb","axes":["policy.kind=dt,occamy","policy.alpha=1,2,4"]}`,
+		&errBody)
+	if code != http.StatusBadRequest {
+		t.Fatalf("6-point grid under cap 4: status %d, want 400", code)
+	}
+	if !strings.Contains(errBody["error"], "grid") {
+		t.Fatalf("error body %q does not mention the grid cap", errBody["error"])
+	}
+
+	var st JobStatus
+	if code := post(t, srv.URL+"/v1/sweeps",
+		`{"name":"burst-absorb","axes":["policy.kind=dt,occamy"]}`, &st); code != http.StatusAccepted {
+		t.Fatalf("2-point grid refused: status %d", code)
+	}
+	awaitHTTP(t, srv.URL, st.ID)
+}
+
+// GET /v1/stats serves the SLO snapshot: counters that reconcile,
+// per-endpoint latency histograms, and gauges that drain with the work.
+func TestHTTPStats(t *testing.T) {
+	_, srv := startServer(t, Config{Workers: 2})
+
+	var st JobStatus
+	if code := post(t, srv.URL+"/v1/runs?name=burst-absorb&scale=quick", "", &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	awaitHTTP(t, srv.URL, st.ID)
+	// Resubmit: a counted cache hit.
+	if code := post(t, srv.URL+"/v1/runs?name=burst-absorb&scale=quick", "", &st); code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+
+	var stats Stats
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: status %d", code)
+	}
+	c := stats.Counters
+	if c.Submitted != 2 || c.CacheHits != 1 || c.Enqueued != 1 || c.Done != 1 {
+		t.Fatalf("counters %+v, want submitted 2 / hits 1 / enqueued 1 / done 1", c)
+	}
+	if got := c.CacheHits + c.Coalesced + c.Enqueued + c.Refused; got != c.Submitted {
+		t.Fatalf("submission identity broken: %+v", c)
+	}
+	if stats.Workers != 2 || stats.QueueCap <= 0 {
+		t.Fatalf("pool shape %+v", stats)
+	}
+	if stats.Queued != 0 || stats.Running != 0 {
+		t.Fatalf("gauges not drained: queued %d running %d", stats.Queued, stats.Running)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Fatalf("uptime %v", stats.UptimeSeconds)
+	}
+	ep, ok := stats.Endpoints["POST /v1/runs"]
+	if !ok || ep.Count != 2 {
+		t.Fatalf("POST /v1/runs histogram %+v (present %v), want count 2", ep, ok)
+	}
+	if ep.P50Ms < 0 || ep.P99Ms < ep.P50Ms {
+		t.Fatalf("histogram quantiles broken: %+v", ep)
+	}
+	// Untouched endpoints are omitted, not zero-filled.
+	if _, ok := stats.Endpoints["DELETE /v1/runs/{id}"]; ok {
+		t.Fatal("never-hit endpoint present in stats")
+	}
 }

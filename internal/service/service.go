@@ -10,8 +10,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"occamy/internal/metrics"
 	"occamy/internal/scenario"
 )
+
+// ErrQueueFull is the capacity refusal: the not-yet-running backlog is
+// at QueueDepth. HTTP maps it to 503 (retryable), unlike validation
+// errors (400).
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrSweepTooLarge rejects sweep grids whose cross-product exceeds
+// Config.MaxSweepPoints — checked before expansion, so a sweep bomb
+// costs O(axes), not O(points).
+var ErrSweepTooLarge = errors.New("service: sweep grid too large")
 
 // JobState is a job's lifecycle position.
 type JobState string
@@ -44,8 +55,8 @@ type Job struct {
 	fingerprint string
 	cached      bool
 	errMsg      string
-	result      []byte               // canonical JSON (ResultDoc or TableDoc)
-	doc         *scenario.ResultDoc  // decoded result, run jobs only
+	result      []byte              // canonical JSON (ResultDoc or TableDoc)
+	doc         *scenario.ResultDoc // decoded result, run jobs only
 	cancel      atomic.Bool
 	submitted   time.Time
 	started     time.Time
@@ -78,6 +89,11 @@ type Config struct {
 	// server's memory is bounded by the cache budget, not by its request
 	// history (default 4096). Live jobs are never pruned.
 	MaxJobs int
+	// MaxSweepPoints bounds a single sweep's expanded grid; SubmitSweep
+	// refuses larger cross-products with ErrSweepTooLarge before
+	// expanding them (default 256 — well below QueueDepth, and one
+	// sweep job already saturates the worker pool via RunGrid).
+	MaxSweepPoints int
 	// CacheBytes is the result-cache memory budget (default 256 MB);
 	// CacheDir enables disk persistence when non-empty.
 	CacheBytes int64
@@ -95,10 +111,22 @@ type Service struct {
 	order []string // submission order, for listing
 	// inflight maps fingerprints to their active (queued/running) job,
 	// so concurrent submissions of one spec coalesce to one simulation.
-	inflight map[string]*Job
-	maxJobs  int
-	seq      int64
-	closed   bool
+	inflight       map[string]*Job
+	maxJobs        int
+	maxSweepPoints int
+	seq            int64
+	closed         bool
+
+	// Observability (GET /v1/stats): the cumulative submission ledger,
+	// worker-busy nanoseconds (terminal jobs; running ones are credited
+	// at snapshot time), and per-endpoint latency histograms. counters
+	// and busyNanos are guarded by mu; the histograms are internally
+	// lock-free.
+	counters  Counters
+	busyNanos int64
+	workers   int
+	started   time.Time
+	endpoints map[string]*metrics.Histogram
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -115,16 +143,26 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 4096
 	}
+	if cfg.MaxSweepPoints <= 0 {
+		cfg.MaxSweepPoints = 256
+	}
 	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
 	s := &Service{
-		cache:    cache,
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		maxJobs:  cfg.MaxJobs,
-		queue:    make(chan *Job, cfg.QueueDepth),
+		cache:          cache,
+		jobs:           make(map[string]*Job),
+		inflight:       make(map[string]*Job),
+		maxJobs:        cfg.MaxJobs,
+		maxSweepPoints: cfg.MaxSweepPoints,
+		workers:        cfg.Workers,
+		started:        time.Now(),
+		endpoints:      make(map[string]*metrics.Histogram, len(endpointPatterns)),
+		queue:          make(chan *Job, cfg.QueueDepth),
+	}
+	for _, pat := range endpointPatterns {
+		s.endpoints[pat] = metrics.NewLatencyHistogram()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -184,7 +222,9 @@ func (s *Service) Submit(spec scenario.Spec) (JobStatus, error) {
 	if s.closed {
 		return JobStatus{}, fmt.Errorf("service: shutting down")
 	}
+	s.counters.Submitted++
 	if cached != nil {
+		s.counters.CacheHits++
 		j := s.newJobLocked("run", spec, fp)
 		j.state = JobDone
 		j.cached = true
@@ -196,6 +236,7 @@ func (s *Service) Submit(spec scenario.Spec) (JobStatus, error) {
 	// cancel-flagged (it is doomed to end canceled; this submission
 	// deserves a real run).
 	if active, ok := s.inflight[fp]; ok && !active.cancel.Load() {
+		s.counters.Coalesced++
 		return active.status(), nil
 	}
 	j := s.newJobLocked("run", spec, fp)
@@ -211,6 +252,25 @@ func (s *Service) Submit(spec scenario.Spec) (JobStatus, error) {
 // by base-spec fingerprint plus the axes — so repeating a grid is a
 // cache hit like repeating a run.
 func (s *Service) SubmitSweep(spec scenario.Spec, axes []scenario.SweepAxis) (JobStatus, error) {
+	// Refuse sweep bombs before expanding anything: the grid size is the
+	// exact product of the axis value counts, so an oversize request is
+	// rejected in O(axes) — one POST with three 1000-value axes must not
+	// allocate a billion specs first.
+	points := 1
+	for _, ax := range axes {
+		if len(ax.Values) == 0 {
+			continue
+		}
+		if points > s.maxSweepPoints/len(ax.Values) {
+			points = s.maxSweepPoints + 1
+			break
+		}
+		points *= len(ax.Values)
+	}
+	if points > s.maxSweepPoints {
+		return JobStatus{}, fmt.Errorf("%w: grid has > %d points (cap %d)",
+			ErrSweepTooLarge, s.maxSweepPoints, s.maxSweepPoints)
+	}
 	fp, err := sweepFingerprint(spec, axes)
 	if err != nil {
 		return JobStatus{}, err
@@ -232,7 +292,9 @@ func (s *Service) SubmitSweep(spec scenario.Spec, axes []scenario.SweepAxis) (Jo
 	if s.closed {
 		return JobStatus{}, fmt.Errorf("service: shutting down")
 	}
+	s.counters.Submitted++
 	if cached != nil {
+		s.counters.CacheHits++
 		j := s.newJobLocked("sweep", spec, fp)
 		j.state = JobDone
 		j.cached = true
@@ -241,6 +303,7 @@ func (s *Service) SubmitSweep(spec scenario.Spec, axes []scenario.SweepAxis) (Jo
 		return j.status(), nil
 	}
 	if active, ok := s.inflight[fp]; ok && !active.cancel.Load() {
+		s.counters.Coalesced++
 		return active.status(), nil
 	}
 	j := s.newJobLocked("sweep", spec, fp)
@@ -317,11 +380,13 @@ func (s *Service) enqueueLocked(j *Job) error {
 	select {
 	case s.queue <- j:
 		s.inflight[j.fingerprint] = j
+		s.counters.Enqueued++
 		return nil
 	default:
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
-		return fmt.Errorf("service: job queue full (%d queued)", cap(s.queue))
+		s.counters.Refused++
+		return fmt.Errorf("%w (%d queued)", ErrQueueFull, cap(s.queue))
 	}
 }
 
@@ -423,12 +488,24 @@ func (s *Service) Cancel(id string) (JobStatus, bool) {
 
 // finishLocked moves a job to a terminal state; the caller holds s.mu.
 func (s *Service) finishLocked(j *Job, state JobState, result []byte, errMsg string) {
+	wasRunning := j.state == JobRunning
 	j.state = state
 	j.result = result
 	j.errMsg = errMsg
 	j.finished = time.Now().UTC()
 	if s.inflight[j.fingerprint] == j {
 		delete(s.inflight, j.fingerprint)
+	}
+	switch state {
+	case JobDone:
+		s.counters.Done++
+	case JobFailed:
+		s.counters.Failed++
+	case JobCanceled:
+		s.counters.Canceled++
+	}
+	if wasRunning {
+		s.busyNanos += j.finished.Sub(j.started).Nanoseconds()
 	}
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -570,5 +571,117 @@ func BenchmarkSubmitCacheHit(b *testing.B) {
 		if st, err := s.Submit(spec); err != nil || !st.Cached {
 			b.Fatalf("miss on iteration %d: %+v %v", i, st, err)
 		}
+	}
+}
+
+// Close must resolve every job — running ones bail at their next engine
+// chunk, queued ones are skipped — so a graceful server shutdown never
+// orphans a job in the ledger.
+func TestCloseResolvesAllJobs(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := quickSpec(t, "incast-storm-256")
+	slow.Scale = scenario.ScalePaper // long enough to still be running
+	ids := []string{}
+	st, err := s.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, st.ID)
+	// Distinct seeds: several genuinely queued jobs behind the slow one.
+	for i := 0; i < 5; i++ {
+		sp := quickSpec(t, "quickstart")
+		sp.Seed = uint64(200 + i)
+		st, err := s.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	s.Close() // blocks until the workers have drained the queue
+
+	for _, id := range ids {
+		st, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s orphaned by Close", id)
+		}
+		if !st.State.Terminal() {
+			t.Errorf("job %s left %s after Close, want terminal", id, st.State)
+		}
+	}
+	if _, err := s.Submit(quickSpec(t, "quickstart")); err == nil {
+		t.Error("submission accepted after Close")
+	}
+}
+
+// The sweep-point cap refuses oversize grids before expanding anything.
+func TestSweepPointCap(t *testing.T) {
+	s := newService(t, Config{Workers: 1, MaxSweepPoints: 4})
+	spec := quickSpec(t, "burst-absorb")
+
+	ok := []scenario.SweepAxis{{Path: "policy.kind", Values: []string{"dt", "occamy"}}}
+	st, err := s.SubmitSweep(spec, ok)
+	if err != nil {
+		t.Fatalf("2-point grid refused under cap 4: %v", err)
+	}
+	await(t, s, st.ID)
+
+	over := []scenario.SweepAxis{
+		{Path: "policy.kind", Values: []string{"dt", "occamy"}},
+		{Path: "seed", Values: []string{"1", "2", "3"}},
+	}
+	if _, err := s.SubmitSweep(spec, over); !errors.Is(err, ErrSweepTooLarge) {
+		t.Fatalf("6-point grid under cap 4: err = %v, want ErrSweepTooLarge", err)
+	}
+
+	// The guard must also survive products that overflow int: three
+	// large axes multiply to far past 1<<63.
+	big := make([]string, 100000)
+	for i := range big {
+		big[i] = "1"
+	}
+	bomb := []scenario.SweepAxis{
+		{Path: "seed", Values: big},
+		{Path: "seed", Values: big},
+		{Path: "seed", Values: big},
+	}
+	if _, err := s.SubmitSweep(spec, bomb); !errors.Is(err, ErrSweepTooLarge) {
+		t.Fatalf("sweep bomb: err = %v, want ErrSweepTooLarge", err)
+	}
+}
+
+// Stats counters obey the ledger identities at every instant, and the
+// gauges drain to zero once the work does.
+func TestStatsLedgerConsistency(t *testing.T) {
+	s := newService(t, Config{Workers: 2})
+	var ids []string
+	for i := 0; i < 12; i++ {
+		sp := quickSpec(t, "quickstart")
+		sp.Seed = uint64(1 + i%4) // repeats: some hits/coalesces
+		st, err := s.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		await(t, s, id)
+	}
+	st := s.Stats()
+	c := st.Counters
+	if c.Submitted != 12 {
+		t.Fatalf("submitted = %d, want 12", c.Submitted)
+	}
+	if got := c.CacheHits + c.Coalesced + c.Enqueued + c.Refused; got != c.Submitted {
+		t.Fatalf("submission identity broken: %+v", c)
+	}
+	if got := c.Done + c.Failed + c.Canceled + int64(st.Queued) + int64(st.Running); got != c.Enqueued {
+		t.Fatalf("state identity broken: %+v (queued %d running %d)", c, st.Queued, st.Running)
+	}
+	if c.CacheHits+c.Coalesced == 0 {
+		t.Fatal("4 distinct seeds over 12 submissions produced no hits or coalesces")
 	}
 }

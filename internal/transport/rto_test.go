@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"testing"
+
+	"occamy/internal/pkt"
+	"occamy/internal/sim"
+)
+
+// TestRTOExponentialBackoffCapped pins the RTO backoff contract after
+// the removal of the old (never-read) backoff counter: each consecutive
+// timeout doubles rto up to MaxRTO, the doubled value is what the
+// retransmission timer is actually armed with, and the timeout counter
+// tracks every event.
+func TestRTOExponentialBackoffCapped(t *testing.T) {
+	n := newChanNet(50 * sim.Microsecond)
+	n.drop = func(p *pkt.Packet) bool { return true } // blackhole: RTOs only
+	opts := Options{InitRTO: 10 * sim.Millisecond, MaxRTO: 80 * sim.Millisecond}
+	s, _ := pair(n, 100_000, NewDCTCP(pkt.MSS, 10), opts)
+	s.Start()
+	if s.rto != opts.InitRTO {
+		t.Fatalf("rto after Start = %v, want InitRTO %v", s.rto, opts.InitRTO)
+	}
+
+	want := opts.InitRTO
+	for i := 1; i <= 6; i++ {
+		s.onTimeout()
+		if want *= 2; want > opts.MaxRTO {
+			want = opts.MaxRTO
+		}
+		if s.rto != want {
+			t.Fatalf("timeout %d: rto = %v, want %v", i, s.rto, want)
+		}
+		// The backed-off value must be live, not bookkeeping: the timer
+		// re-armed by the timeout's retransmission fires one rto from now.
+		if got := s.timer.Deadline() - n.Now(); got != want {
+			t.Fatalf("timeout %d: timer armed %v out, want rto %v", i, got, want)
+		}
+		if s.Timeouts() != int64(i) {
+			t.Fatalf("timeout %d: counter = %d", i, s.Timeouts())
+		}
+	}
+	if s.rto != opts.MaxRTO {
+		t.Fatalf("rto = %v after 6 timeouts, want cap %v", s.rto, opts.MaxRTO)
+	}
+}
+
+// TestRTOResetAfterRTTSample runs a transfer through a link that
+// blackholes everything for the first 200ms, then heals. The sender
+// must back off to the cap while the link is dark, then — once ACKs
+// carry fresh RTT samples — recompute rto from srtt/rttvar, landing
+// back at the floor for a microsecond-RTT path.
+func TestRTOResetAfterRTTSample(t *testing.T) {
+	n := newChanNet(50 * sim.Microsecond)
+	dark := 200 * sim.Millisecond
+	n.drop = func(p *pkt.Packet) bool { return n.Now() < dark }
+	opts := Options{
+		InitRTO: 10 * sim.Millisecond,
+		MinRTO:  5 * sim.Millisecond,
+		MaxRTO:  80 * sim.Millisecond,
+	}
+	s, r := pair(n, 100_000, NewDCTCP(pkt.MSS, 10), opts)
+	s.Start()
+	n.eng.Run()
+
+	if !s.Done() || !r.Done() {
+		t.Fatalf("not done: sender %v receiver %v", s.Done(), r.Done())
+	}
+	// Timeouts at 10, 30, 70, 150ms are all eaten by the dark window, so
+	// the sender must have reached the cap along the way.
+	if s.Timeouts() < 4 {
+		t.Fatalf("%d timeouts through a 200ms blackhole, want >= 4", s.Timeouts())
+	}
+	if !s.haveRTT {
+		t.Fatal("no RTT sample after the link healed")
+	}
+	// The healed path's RTT is 100µs, so srtt+4*rttvar clamps to MinRTO:
+	// the backoff did not stick past the first fresh sample.
+	if s.rto != opts.MinRTO {
+		t.Fatalf("rto = %v after healed transfer, want MinRTO %v", s.rto, opts.MinRTO)
+	}
+}

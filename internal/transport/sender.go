@@ -23,11 +23,12 @@ type Sender struct {
 	recover    int64  // fast-recovery exit point
 	lastAckID  uint64 // last ACK packet identity, to shed link duplicates
 
-	// RTO state (RFC 6298).
+	// RTO state (RFC 6298). Consecutive timeouts double rto directly
+	// (capped at MaxRTO); a fresh RTT sample recomputes it from
+	// srtt/rttvar, which is what ends a backoff run.
 	srtt, rttvar sim.Duration
 	haveRTT      bool
 	rto          sim.Duration
-	backoff      int
 	timer        sim.Timer
 	timeoutFn    func() // onTimeout, bound once so re-arming never allocates
 
@@ -133,7 +134,6 @@ func (s *Sender) onTimeout() {
 	s.dupAcks = 0
 	s.inRecovery = false
 	// Exponential backoff, capped.
-	s.backoff++
 	s.rto *= 2
 	if s.rto > s.opts.MaxRTO {
 		s.rto = s.opts.MaxRTO
@@ -173,7 +173,6 @@ func (s *Sender) OnPacket(p *pkt.Packet) {
 		}
 		s.dupAcks = 0
 		s.sampleRTT(now - p.SentAt)
-		s.backoff = 0
 		s.cc.OnAck(newly, p.AckNo, s.sndNxt, p.ECNEcho, now)
 		if s.inRecovery {
 			if p.AckNo >= s.recover {
