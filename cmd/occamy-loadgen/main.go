@@ -10,10 +10,16 @@
 //
 // Usage:
 //
-//	occamy-loadgen [-targets http://localhost:8080] [-n 300] [-rate 50] \
-//	    [-process poisson] [-seed 1] [-concurrency 32] [-zipf 1.3] \
-//	    [-scenarios a,b,c] [-scales quick=0.95,full=0.05] \
-//	    [-mutate-every 7] [-sweep-every 0] [-report FILE]
+//	occamy-loadgen [-targets http://localhost:8080] [-route rr|hash] \
+//	    [-n 300] [-rate 50] [-process poisson] [-seed 1] \
+//	    [-concurrency 32] [-zipf 1.3] [-scenarios a,b,c] \
+//	    [-scales quick=0.95,full=0.05] [-mutate-every 7] \
+//	    [-sweep-every 0] [-report FILE]
+//
+// -route=hash places each request on the consistent-hash home shard of
+// its fingerprint (the same ring occamy-router uses), so driving N
+// workers directly reproduces a fronting router's placement; the report
+// then carries a per-target breakdown of the shard skew.
 //
 // Threshold flags turn the run into a gate (exit 1 on violation):
 //
@@ -45,7 +51,8 @@ func main() {
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("occamy-loadgen", flag.ExitOnError)
-	targets := fs.String("targets", "http://localhost:8080", "comma-separated occamy-served base URLs (round-robin)")
+	targets := fs.String("targets", "http://localhost:8080", "comma-separated occamy-served base URLs")
+	route := fs.String("route", "rr", "target placement: rr (round-robin) | hash (consistent hash by spec fingerprint, the occamy-router ring)")
 	n := fs.Int("n", 300, "total requests to schedule")
 	rate := fs.Float64("rate", 50, "arrival rate, requests/second")
 	process := fs.String("process", "poisson", "arrival process: poisson|uniform")
@@ -73,6 +80,7 @@ func run(argv []string) error {
 	}
 	cfg := loadgen.Config{
 		Targets:      splitNonEmpty(*targets),
+		Route:        *route,
 		Requests:     *n,
 		Rate:         *rate,
 		Process:      *process,

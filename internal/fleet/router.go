@@ -1,0 +1,555 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"occamy/internal/metrics"
+	"occamy/internal/scenario"
+	"occamy/internal/service"
+)
+
+// Config sizes a Router.
+type Config struct {
+	// Workers are the occamy-served base URLs ("http://host:port"),
+	// unique, in any order (the ring hashes their names, not their
+	// positions).
+	Workers []string
+	// Replicas is the virtual-node count per worker (default
+	// DefaultReplicas).
+	Replicas int
+	// MaxSweepPoints caps one sweep's expanded grid, checked in O(axes)
+	// before expansion exactly like the worker-side cap (default 256).
+	MaxSweepPoints int
+	// RatePerClient and Burst shape the per-client token bucket guarding
+	// the submission endpoints; RatePerClient <= 0 disables limiting.
+	RatePerClient float64
+	Burst         float64
+	// SweepCacheBytes budgets the router's aggregated-sweep result cache
+	// (default 64 MB). Individual run results are never cached here —
+	// they live on their home shard.
+	SweepCacheBytes int64
+	// PollInterval is the cadence at which the sweep aggregator polls
+	// point jobs (default 5ms); PointTimeout bounds one point's
+	// submit-to-done wait (default 10m).
+	PollInterval time.Duration
+	PointTimeout time.Duration
+	// Client overrides the HTTP client used to reach workers.
+	Client *http.Client
+}
+
+// Counters is the router's own cumulative ledger, reported under
+// "router" in GET /v1/stats (the worker ledgers are merged separately).
+type Counters struct {
+	// Routed counts POST /v1/runs submissions forwarded to a shard;
+	// Proxied the forwarded reads/cancels (status, trace, delete).
+	Routed  int64 `json:"routed"`
+	Proxied int64 `json:"proxied"`
+	// Sweeps counts POST /v1/sweeps accepted; SweepCacheHits the ones
+	// answered from the aggregated-table cache; SweepPoints the grid
+	// points fanned out to workers.
+	Sweeps         int64 `json:"sweeps"`
+	SweepCacheHits int64 `json:"sweep_cache_hits"`
+	SweepPoints    int64 `json:"sweep_points"`
+	// BatchSpecs counts specs submitted through POST /v1/batch.
+	BatchSpecs int64 `json:"batch_specs"`
+	// RateLimited counts 429s; WorkerErrors the 502s returned because a
+	// shard was unreachable.
+	RateLimited  int64 `json:"rate_limited"`
+	WorkerErrors int64 `json:"worker_errors"`
+}
+
+// Router fronts a fleet of occamy-served workers. Runs are routed by
+// consistent hash over the spec fingerprint — the same partition key
+// the workers' content-addressed caches use — so every spec has exactly
+// one home shard and resubmissions are fleet-wide O(1) cache hits.
+// Sweeps are expanded router-side and their points fanned to each
+// point's home shard, the aggregate re-assembled byte-identically to a
+// single-process sweep. The router itself holds no simulation state:
+// killing it loses nothing but the in-flight sweep aggregations.
+type Router struct {
+	workers    []string
+	ring       *Ring
+	client     *http.Client
+	limiter    *RateLimiter
+	sweepCache *service.Cache
+	maxSweep   int
+	pollEvery  time.Duration
+	pointWait  time.Duration
+	started    time.Time
+	endpoints  map[string]*metrics.Histogram
+
+	mu       sync.Mutex
+	sweeps   map[string]*sweepJob // by router job id
+	order    []string
+	inflight map[string]*sweepJob // by sweep fingerprint
+	seq      int64
+	counters Counters
+}
+
+// sweepJob is a router-owned aggregation job: one POST /v1/sweeps,
+// fanned out as N point runs across the fleet.
+type sweepJob struct {
+	id          string
+	spec        scenario.Spec
+	axes        []scenario.SweepAxis
+	fingerprint string
+
+	state     service.JobState
+	cached    bool
+	errMsg    string
+	result    []byte
+	cancel    atomic.Bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func (j *sweepJob) status() service.JobStatus {
+	return service.JobStatus{
+		ID: j.id, Kind: "sweep", State: j.state,
+		Scenario: j.spec.Name, Fingerprint: j.fingerprint, Cached: j.cached,
+		Error: j.errMsg, Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+}
+
+// NewRouter builds a router over the worker fleet.
+func NewRouter(cfg Config) (*Router, error) {
+	ring, err := NewRing(cfg.Workers, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxSweepPoints <= 0 {
+		cfg.MaxSweepPoints = 256
+	}
+	if cfg.SweepCacheBytes <= 0 {
+		cfg.SweepCacheBytes = 64 << 20
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Millisecond
+	}
+	if cfg.PointTimeout <= 0 {
+		cfg.PointTimeout = 10 * time.Minute
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	sweepCache, err := service.NewCache(cfg.SweepCacheBytes, "")
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		workers:    ring.Nodes(),
+		ring:       ring,
+		client:     client,
+		limiter:    NewRateLimiter(cfg.RatePerClient, cfg.Burst),
+		sweepCache: sweepCache,
+		maxSweep:   cfg.MaxSweepPoints,
+		pollEvery:  cfg.PollInterval,
+		pointWait:  cfg.PointTimeout,
+		started:    time.Now(),
+		endpoints:  make(map[string]*metrics.Histogram, len(endpointPatterns)),
+		sweeps:     make(map[string]*sweepJob),
+		inflight:   make(map[string]*sweepJob),
+	}
+	for _, pat := range endpointPatterns {
+		rt.endpoints[pat] = metrics.NewLatencyHistogram()
+	}
+	return rt, nil
+}
+
+// endpointPatterns mirrors the worker API surface: the router serves
+// the same routes, so clients (curl, occamy-loadgen) are agnostic to
+// whether they talk to one worker or the fleet.
+var endpointPatterns = []string{
+	"GET /v1/scenarios",
+	"GET /v1/scenarios/{name}",
+	"POST /v1/runs",
+	"GET /v1/runs",
+	"GET /v1/runs/{id}",
+	"GET /v1/runs/{id}/trace.csv",
+	"DELETE /v1/runs/{id}",
+	"POST /v1/sweeps",
+	"POST /v1/batch",
+	"GET /v1/cache",
+	"GET /v1/stats",
+}
+
+// Handler returns the router's HTTP API — the same surface as one
+// occamy-served, fleet-wide.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, fn http.HandlerFunc) {
+		h := rt.endpoints[pattern]
+		if h == nil {
+			panic(fmt.Sprintf("fleet: route %q not in endpointPatterns", pattern))
+		}
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			fn(w, r)
+			h.Record(time.Since(start))
+		})
+	}
+	handle("GET /v1/scenarios", rt.handleScenarios)
+	handle("GET /v1/scenarios/{name}", rt.handleScenarioExport)
+	handle("POST /v1/runs", rt.handleSubmit)
+	handle("GET /v1/runs", rt.handleJobs)
+	handle("GET /v1/runs/{id}", rt.handleJob)
+	handle("GET /v1/runs/{id}/trace.csv", rt.handleTrace)
+	handle("DELETE /v1/runs/{id}", rt.handleCancel)
+	handle("POST /v1/sweeps", rt.handleSweep)
+	handle("POST /v1/batch", rt.handleBatch)
+	handle("GET /v1/cache", rt.handleCache)
+	handle("GET /v1/stats", rt.handleStats)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Job-ID shard encoding
+//
+// The router issues run IDs of the form "w<shard>.<worker id>" (e.g.
+// "w1.r42"): the shard index names the worker that owns the job, so
+// status polls, trace fetches, and cancels route without any router
+// state. Sweep jobs are router-owned aggregations and use "g<seq>".
+
+func routerID(shard int, workerID string) string {
+	return fmt.Sprintf("w%d.%s", shard, workerID)
+}
+
+// parseRunID splits a router run ID into its shard and worker-local id.
+func (rt *Router) parseRunID(id string) (int, string, bool) {
+	rest, ok := strings.CutPrefix(id, "w")
+	if !ok {
+		return 0, "", false
+	}
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 {
+		return 0, "", false
+	}
+	shard, err := strconv.Atoi(rest[:dot])
+	if err != nil || shard < 0 || shard >= len(rt.workers) {
+		return 0, "", false
+	}
+	return shard, rest[dot+1:], true
+}
+
+// clientKey identifies the rate-limited principal: an explicit
+// X-Client-ID header when present, else the remote host (sans port, so
+// reconnects share one bucket).
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// admit charges n tokens to the request's client; on refusal it writes
+// the 429 (with Retry-After rounded up to whole seconds) and returns
+// false.
+func (rt *Router) admit(w http.ResponseWriter, r *http.Request, n int) bool {
+	ok, retryAfter := rt.limiter.AllowN(clientKey(r), n)
+	if ok {
+		return true
+	}
+	rt.mu.Lock()
+	rt.counters.RateLimited++
+	rt.mu.Unlock()
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusTooManyRequests, "rate limit exceeded for client %q; retry in %ds", clientKey(r), secs)
+	return false
+}
+
+// count bumps one router counter under the lock.
+func (rt *Router) count(f func(*Counters)) {
+	rt.mu.Lock()
+	f(&rt.counters)
+	rt.mu.Unlock()
+}
+
+// --- worker I/O -------------------------------------------------------
+
+// workerResponse is one buffered worker reply.
+type workerResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// callWorker performs one request against a shard, buffering the body
+// (bounded). Transport errors — the shard is down — come back as an
+// error; HTTP-level failures are the caller's to interpret.
+func (rt *Router) callWorker(shard int, method, path string, body []byte) (*workerResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, rt.workers[shard]+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.count(func(c *Counters) { c.WorkerErrors++ })
+		return nil, fmt.Errorf("worker %d (%s) unreachable: %v", shard, rt.workers[shard], err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		rt.count(func(c *Counters) { c.WorkerErrors++ })
+		return nil, fmt.Errorf("worker %d (%s): reading response: %v", shard, rt.workers[shard], err)
+	}
+	return &workerResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// relay copies a buffered worker response to the client verbatim,
+// preserving the headers a backoff loop cares about.
+func relay(w http.ResponseWriter, resp *workerResponse) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// proxyAny forwards a fleet-agnostic read (catalog listing/export) to
+// the first worker that answers.
+func (rt *Router) proxyAny(w http.ResponseWriter, path string) {
+	var lastErr error
+	for shard := range rt.workers {
+		resp, err := rt.callWorker(shard, http.MethodGet, path, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "no worker reachable: %v", lastErr)
+}
+
+func (rt *Router) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	rt.proxyAny(w, "/v1/scenarios")
+}
+
+func (rt *Router) handleScenarioExport(w http.ResponseWriter, r *http.Request) {
+	path := "/v1/scenarios/" + r.PathValue("name")
+	if scale := r.URL.Query().Get("scale"); scale != "" {
+		path += "?scale=" + scale
+	}
+	rt.proxyAny(w, path)
+}
+
+// --- runs -------------------------------------------------------------
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !rt.admit(w, r, 1) {
+		return
+	}
+	spec, status, err := service.ReadSpec(r)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// The spec's home shard is a pure function of its fingerprint — the
+	// very key the worker's cache uses — so equal and equivalent specs
+	// always land where their result already lives.
+	shard := rt.ring.Lookup(fp)
+	body, err := spec.Marshal()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := rt.callWorker(shard, http.MethodPost, "/v1/runs", body)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	rt.count(func(c *Counters) { c.Routed++ })
+	if resp.status != http.StatusAccepted {
+		relay(w, resp)
+		return
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(resp.body, &st); err != nil {
+		httpError(w, http.StatusBadGateway, "worker %d: undecodable job status: %v", shard, err)
+		return
+	}
+	st.ID = routerID(shard, st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// jobView mirrors the worker's GET /v1/runs/{id} response shape.
+type jobView struct {
+	service.JobStatus
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (rt *Router) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var runs []service.JobStatus
+	for shard := range rt.workers {
+		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs", nil)
+		if err != nil || resp.status != http.StatusOK {
+			continue // a dead shard degrades the listing, not the fleet
+		}
+		var page struct {
+			Runs []service.JobStatus `json:"runs"`
+		}
+		if json.Unmarshal(resp.body, &page) != nil {
+			continue
+		}
+		for _, st := range page.Runs {
+			st.ID = routerID(shard, st.ID)
+			runs = append(runs, st)
+		}
+	}
+	rt.mu.Lock()
+	for _, id := range rt.order {
+		runs = append(runs, rt.sweeps[id].status())
+	}
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+}
+
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j := rt.sweepByID(id); j != nil {
+		rt.mu.Lock()
+		view := jobView{JobStatus: j.status(), Result: j.result}
+		rt.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	shard, wid, ok := rt.parseRunID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %s", id)
+		return
+	}
+	resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs/"+wid, nil)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	rt.count(func(c *Counters) { c.Proxied++ })
+	if resp.status != http.StatusOK {
+		relay(w, resp)
+		return
+	}
+	var view jobView
+	if err := json.Unmarshal(resp.body, &view); err != nil {
+		httpError(w, http.StatusBadGateway, "worker %d: undecodable job view: %v", shard, err)
+		return
+	}
+	view.ID = routerID(shard, view.ID)
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j := rt.sweepByID(id); j != nil {
+		httpError(w, http.StatusNotFound, "fleet: job %s is a sweep, not a run", id)
+		return
+	}
+	shard, wid, ok := rt.parseRunID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %s", id)
+		return
+	}
+	path := "/v1/runs/" + wid + "/trace.csv"
+	if stride := r.URL.Query().Get("stride"); stride != "" {
+		path += "?stride=" + stride
+	}
+	resp, err := rt.callWorker(shard, http.MethodGet, path, nil)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	rt.count(func(c *Counters) { c.Proxied++ })
+	relay(w, resp)
+}
+
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j := rt.sweepByID(id); j != nil {
+		rt.mu.Lock()
+		if !j.state.Terminal() {
+			// The aggregator observes the flag between point polls and
+			// finishes the job canceled; already-submitted points keep
+			// running on their shards (their results stay cached — the
+			// fleet loses nothing by letting them land).
+			j.cancel.Store(true)
+		}
+		st := j.status()
+		rt.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	shard, wid, ok := rt.parseRunID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no run %s", id)
+		return
+	}
+	resp, err := rt.callWorker(shard, http.MethodDelete, "/v1/runs/"+wid, nil)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	rt.count(func(c *Counters) { c.Proxied++ })
+	if resp.status != http.StatusOK {
+		relay(w, resp)
+		return
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(resp.body, &st); err != nil {
+		httpError(w, http.StatusBadGateway, "worker %d: undecodable job status: %v", shard, err)
+		return
+	}
+	st.ID = routerID(shard, st.ID)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (rt *Router) sweepByID(id string) *sweepJob {
+	if !strings.HasPrefix(id, "g") {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.sweeps[id]
+}

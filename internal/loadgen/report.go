@@ -28,11 +28,31 @@ type TargetStats struct {
 	Err   string         `json:"error,omitempty"`
 }
 
+// TargetBreakdown is the client-observed ledger of one target: which
+// requests the schedule placed there and how they fared. Summed over
+// targets it reproduces the report's global ledger — under -route=hash
+// it is the per-shard load view (skew, per-shard refusals, per-shard
+// latency) that the global numbers average away.
+type TargetBreakdown struct {
+	URL      string `json:"url"`
+	Requests int    `json:"requests"`
+
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	Refused   int `json:"refused"`
+	Errors    int `json:"errors"`
+	CacheHits int `json:"cache_hits"`
+
+	Latency LatencySummary `json:"latency"`
+}
+
 // Report is the load test result: the client-side ledger, the latency
 // distribution, and each target's /v1/stats snapshot.
 type Report struct {
 	Seed       uint64  `json:"seed"`
 	Process    string  `json:"process"`
+	Route      string  `json:"route"`
 	RatePerSec float64 `json:"rate_per_sec"`
 	Requests   int     `json:"requests"`
 
@@ -58,7 +78,10 @@ type Report struct {
 
 	Latency LatencySummary `json:"latency"`
 
-	Targets []TargetStats `json:"targets,omitempty"`
+	// PerTarget breaks the client ledger down by target; Targets carries
+	// each target's own /v1/stats snapshot.
+	PerTarget []TargetBreakdown `json:"per_target,omitempty"`
+	Targets   []TargetStats     `json:"targets,omitempty"`
 
 	// FirstErrors carries up to 5 representative error strings so a
 	// failed CI run is diagnosable from the report alone.
@@ -70,6 +93,7 @@ func summarize(cfg Config, sched []Request, outcomes []outcome, elapsed time.Dur
 	rep := &Report{
 		Seed:           cfg.Seed,
 		Process:        cfg.Process,
+		Route:          cfg.Route,
 		RatePerSec:     cfg.Rate,
 		Requests:       len(sched),
 		ElapsedSeconds: elapsed.Seconds(),
@@ -82,17 +106,33 @@ func summarize(cfg Config, sched []Request, outcomes []outcome, elapsed time.Dur
 			rep.Sweeps++
 		}
 	}
+	perTarget := make([]TargetBreakdown, len(cfg.Targets))
+	perLat := make([][]float64, len(cfg.Targets))
+	for i, url := range cfg.Targets {
+		perTarget[i].URL = url
+	}
 	var lat []float64 // milliseconds
 	for _, o := range outcomes {
+		var tb *TargetBreakdown
+		if o.target >= 0 && o.target < len(perTarget) {
+			tb = &perTarget[o.target]
+			tb.Requests++
+		}
 		switch {
 		case o.err != nil:
 			rep.Errors++
+			if tb != nil {
+				tb.Errors++
+			}
 			if len(rep.FirstErrors) < 5 {
 				rep.FirstErrors = append(rep.FirstErrors, o.err.Error())
 			}
 			continue
 		case o.refused:
 			rep.Refused++
+			if tb != nil {
+				tb.Refused++
+			}
 			continue
 		}
 		switch o.state {
@@ -106,8 +146,26 @@ func summarize(cfg Config, sched []Request, outcomes []outcome, elapsed time.Dur
 		if o.cached {
 			rep.CacheHits++
 		}
+		if tb != nil {
+			switch o.state {
+			case "done":
+				tb.Done++
+			case "failed":
+				tb.Failed++
+			case "canceled":
+				tb.Canceled++
+			}
+			if o.cached {
+				tb.CacheHits++
+			}
+			perLat[o.target] = append(perLat[o.target], float64(o.latency)/float64(time.Millisecond))
+		}
 		lat = append(lat, float64(o.latency)/float64(time.Millisecond))
 	}
+	for i := range perTarget {
+		perTarget[i].Latency = latencySummary(perLat[i])
+	}
+	rep.PerTarget = perTarget
 	if elapsed > 0 {
 		rep.ThroughputPerSec = float64(rep.Done+rep.Failed+rep.Canceled) / elapsed.Seconds()
 	}
@@ -139,8 +197,8 @@ func round3(f float64) float64 { return float64(int64(f*1000+0.5)) / 1000 }
 // Render prints the human-readable report.
 func (r *Report) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "occamy-loadgen report (seed=%d process=%s rate=%.5g/s requests=%d)\n",
-		r.Seed, r.Process, r.RatePerSec, r.Requests)
+	fmt.Fprintf(&b, "occamy-loadgen report (seed=%d process=%s route=%s rate=%.5g/s requests=%d)\n",
+		r.Seed, r.Process, r.Route, r.RatePerSec, r.Requests)
 	fmt.Fprintf(&b, "  outcomes    done %d  failed %d  canceled %d  refused %d  errors %d\n",
 		r.Done, r.Failed, r.Canceled, r.Refused, r.Errors)
 	fmt.Fprintf(&b, "  schedule    mutated %d  sweep-bursts %d\n", r.Mutated, r.Sweeps)
@@ -151,6 +209,13 @@ func (r *Report) Render() string {
 		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.P999Ms, r.Latency.MeanMs)
 	for _, e := range r.FirstErrors {
 		fmt.Fprintf(&b, "  error: %s\n", e)
+	}
+	if len(r.PerTarget) > 1 {
+		for _, tb := range r.PerTarget {
+			fmt.Fprintf(&b, "  target %s: %d reqs  done %d  failed %d  canceled %d  refused %d  errors %d  hits %d  p99 %.3gms\n",
+				tb.URL, tb.Requests, tb.Done, tb.Failed, tb.Canceled, tb.Refused, tb.Errors, tb.CacheHits,
+				tb.Latency.P99Ms)
+		}
 	}
 	for _, t := range r.Targets {
 		if t.Err != "" {

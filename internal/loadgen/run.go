@@ -48,10 +48,11 @@ func terminal(state string) bool {
 
 // outcome is one request's fate, recorded into the report.
 type outcome struct {
+	target  int           // index into Config.Targets
 	latency time.Duration // submit-to-done, terminal outcomes only
 	state   string        // done | failed | canceled
 	cached  bool
-	refused bool // 503 at submission
+	refused bool // 503 (capacity) or 429 (rate limit) at submission
 	err     error
 }
 
@@ -92,6 +93,7 @@ func Run(ctx context.Context, cfg Config, sched []Request) (*Report, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			o := doOne(ctx, client, cfg, cfg.Targets[req.Target], req)
+			o.target = req.Target
 			o.latency = time.Since(t0)
 			mu.Lock()
 			outcomes = append(outcomes, o)
@@ -124,7 +126,10 @@ func doOne(ctx context.Context, client *http.Client, cfg Config, target string, 
 	switch {
 	case err != nil:
 		return outcome{err: fmt.Errorf("POST %s: %w", req.Path, err)}
-	case code == http.StatusServiceUnavailable:
+	case code == http.StatusServiceUnavailable, code == http.StatusTooManyRequests:
+		// Both are the server pushing back (saturated queue or per-client
+		// rate limit): the request was refused, not errored — refusal-rate
+		// thresholds gate on exactly this bucket.
 		return outcome{refused: true}
 	case code != http.StatusAccepted:
 		return outcome{err: fmt.Errorf("POST %s: status %d (%s)", req.Path, code, st.Error)}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -248,13 +249,74 @@ func RunSweepWithCancel(base Spec, axes []SweepAxis, canceled func() bool) (*exp
 	if canceled != nil && canceled() {
 		return nil, ErrCanceled
 	}
-	title := base.Title
-	if len(axes) > 0 {
-		var ps []string
-		for _, ax := range axes {
-			ps = append(ps, ax.Path)
-		}
-		title = fmt.Sprintf("%s (sweep %s)", base.Title, strings.Join(ps, " × "))
+	return Summarize(base.Name, SweepTitle(base, axes), labels, results, metricsOf(base)), nil
+}
+
+// SweepTitle is the summary-table title of a sweep over base: the base
+// title annotated with the swept field paths. Exported so a fleet
+// router assembling a sweep table from remotely-run grid points renders
+// the exact title a single-process RunSweep would.
+func SweepTitle(base Spec, axes []SweepAxis) string {
+	if len(axes) == 0 {
+		return base.Title
 	}
-	return Summarize(base.Name, title, labels, results, metricsOf(base)), nil
+	var ps []string
+	for _, ax := range axes {
+		ps = append(ps, ax.Path)
+	}
+	return fmt.Sprintf("%s (sweep %s)", base.Title, strings.Join(ps, " × "))
+}
+
+// SweepMetrics resolves the metric columns a sweep over base renders —
+// the base spec's effective column list, applied to every grid point
+// (Summarize uses one column set for the whole table even when a swept
+// field would change a point's own default columns).
+func SweepMetrics(base Spec) []string { return metricsOf(base) }
+
+// AssembleSweepTable reconstructs the sweep summary table from each
+// grid point's individually-computed one-row summary (ResultDoc.Summary
+// of the point run). Points must arrive in Expand order. The output is
+// byte-identical (once encoded) to the table RunSweep produces in one
+// process, because every cell of a summary row depends only on the
+// point's own deterministic Result: the assembler just re-labels the
+// rows with the grid labels and re-projects the cells onto the base
+// spec's column set by column name.
+//
+// It errors when a point's summary lacks a base column — possible only
+// when the base omits explicit metrics AND a swept field changes the
+// point's default column set incompatibly (e.g. sweeping a workload
+// kind); set Spec.Metrics on the base to sweep such fields across a
+// fleet.
+func AssembleSweepTable(base Spec, axes []SweepAxis, points []TableDoc) (TableDoc, error) {
+	_, labels, err := Expand(base, axes)
+	if err != nil {
+		return TableDoc{}, err
+	}
+	if len(points) != len(labels) {
+		return TableDoc{}, fmt.Errorf("scenario: sweep over %q has %d grid points, got %d summaries",
+			base.Name, len(labels), len(points))
+	}
+	metrics := metricsOf(base)
+	out := TableDoc{
+		ID:      base.Name,
+		Title:   SweepTitle(base, axes),
+		Columns: append([]string{"scenario"}, metrics...),
+	}
+	for i, p := range points {
+		if len(p.Rows) != 1 {
+			return TableDoc{}, fmt.Errorf("scenario: grid point %d (%s) summary has %d rows, want 1", i, labels[i], len(p.Rows))
+		}
+		row := make([]string, 0, 1+len(metrics))
+		row = append(row, labels[i])
+		for _, m := range metrics {
+			j := slices.Index(p.Columns, m)
+			if j < 0 || j >= len(p.Rows[0]) {
+				return TableDoc{}, fmt.Errorf("scenario: grid point %d (%s) summary lacks column %q (set explicit metrics on the base spec to sweep across a fleet)",
+					i, labels[i], m)
+			}
+			row = append(row, p.Rows[0][j])
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
 }

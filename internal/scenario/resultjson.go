@@ -69,6 +69,17 @@ func NewTableDoc(t *experiments.Table) TableDoc {
 	return TableDoc{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows}
 }
 
+// Encode marshals the table compactly with a trailing newline — the
+// canonical sweep-result bytes served by the service and the fleet
+// router (their byte-identity contract shares this one encoder).
+func (d *TableDoc) Encode() ([]byte, error) {
+	data, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshaling table %q: %w", d.ID, err)
+	}
+	return append(data, '\n'), nil
+}
+
 // TailRowDoc is one tail-table line: a labeled sample population with
 // its completion-time and slowdown quantiles (at Quantiles positions).
 type TailRowDoc struct {
@@ -351,13 +362,21 @@ func DecodeResultDoc(data []byte) (*ResultDoc, error) {
 	return &d, nil
 }
 
+// HasTrace reports whether the document carries an occupancy trace —
+// the check an HTTP handler must make before committing to a 200
+// text/csv response, so "no trace" can be a clean 404 instead of an
+// error blob appended to an already-started CSV body.
+func (d *ResultDoc) HasTrace() bool {
+	return d.Trace != nil && len(d.Trace.Times) > 0
+}
+
 // WriteTraceCSV renders the document's trace section in the same CSV
 // shape as Result.WriteTraceCSV: one whole-switch occupancy column per
 // switch, then an occupancy/threshold column pair per queue. stride
 // keeps every stride-th sample (<=1 keeps all). Errors when the
 // document carries no trace.
 func (d *ResultDoc) WriteTraceCSV(w io.Writer, stride int) error {
-	if d.Trace == nil || len(d.Trace.Times) == 0 {
+	if !d.HasTrace() {
 		return fmt.Errorf("scenario %q: result document carries no trace", d.Name)
 	}
 	times := make([]float64, len(d.Trace.Times))

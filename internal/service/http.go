@@ -25,6 +25,8 @@ import (
 //	GET    /v1/runs/{id}/trace.csv    occupancy trace CSV (?stride=N)
 //	DELETE /v1/runs/{id}              cancel
 //	POST   /v1/sweeps                 {spec|name, axes: ["path=v1,v2"]}
+//	POST   /v1/batch                  {specs: [spec, ...], scale?} ->
+//	                                  202 {runs: [{job}|{error, code}]}
 //	GET    /v1/cache                  cache stats
 //	GET    /v1/stats                  service SLO stats (see stats.go)
 //
@@ -63,6 +65,7 @@ func (s *Service) Handler() http.Handler {
 	handle("GET /v1/runs/{id}/trace.csv", s.handleTrace)
 	handle("DELETE /v1/runs/{id}", s.handleCancel)
 	handle("POST /v1/sweeps", s.handleSweep)
+	handle("POST /v1/batch", s.handleBatch)
 	handle("GET /v1/cache", s.handleCache)
 	handle("GET /v1/stats", s.handleStats)
 	return mux
@@ -103,9 +106,10 @@ func (s *Service) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
 }
 
-// catalogSpec resolves a catalog entry at a scale; the error messages
-// double as HTTP bodies.
-func catalogSpec(name, scaleStr string) (scenario.Spec, error) {
+// CatalogSpec resolves a catalog entry at a scale; the error messages
+// double as HTTP bodies. Exported for the fleet router's sweep and
+// batch handlers, which resolve catalog names with the same rules.
+func CatalogSpec(name, scaleStr string) (scenario.Spec, error) {
 	scale, err := scenario.ParseScale(scaleStr)
 	if err != nil {
 		return scenario.Spec{}, err
@@ -121,7 +125,7 @@ func catalogSpec(name, scaleStr string) (scenario.Spec, error) {
 }
 
 func (s *Service) handleScenarioExport(w http.ResponseWriter, r *http.Request) {
-	spec, err := catalogSpec(r.PathValue("name"), r.URL.Query().Get("scale"))
+	spec, err := CatalogSpec(r.PathValue("name"), r.URL.Query().Get("scale"))
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
@@ -135,9 +139,12 @@ func (s *Service) handleScenarioExport(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-// readSpec extracts the submitted spec: a strict-JSON body, or — when
-// the body is empty — a catalog name in the query string.
-func readSpec(r *http.Request) (scenario.Spec, int, error) {
+// ReadSpec extracts the submitted spec of a POST /v1/runs-shaped
+// request: a strict-JSON body, or — when the body is empty — a catalog
+// name in the query string. Exported so the fleet router parses
+// submissions with exactly the service's strictness (same errors, same
+// status codes) before routing them by fingerprint.
+func ReadSpec(r *http.Request) (scenario.Spec, int, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
 		return scenario.Spec{}, http.StatusBadRequest, fmt.Errorf("reading body: %w", err)
@@ -150,7 +157,7 @@ func readSpec(r *http.Request) (scenario.Spec, int, error) {
 		if name == "" {
 			return scenario.Spec{}, http.StatusBadRequest, fmt.Errorf("empty body and no ?name= catalog entry")
 		}
-		spec, err := catalogSpec(name, r.URL.Query().Get("scale"))
+		spec, err := CatalogSpec(name, r.URL.Query().Get("scale"))
 		if err != nil {
 			return scenario.Spec{}, http.StatusNotFound, err
 		}
@@ -171,17 +178,36 @@ func readSpec(r *http.Request) (scenario.Spec, int, error) {
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, status, err := readSpec(r)
+	spec, status, err := ReadSpec(r)
 	if err != nil {
 		httpError(w, status, "%v", err)
 		return
 	}
 	st, err := s.Submit(spec)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		httpError(w, submitStatus(w, err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// submitStatus maps a Submit/SubmitSweep error to its HTTP status and
+// sets the Retry-After header where a backoff-and-retry is the right
+// client move. Draining is 503 + Retry-After (this instance is going
+// away; a router or LB should retry a peer shortly), queue-full a plain
+// 503 (same instance, just saturated), and anything else — fingerprint
+// failures and other internal surprises — a 500, never disguised as a
+// capacity problem.
+func submitStatus(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -225,11 +251,19 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	// Decide the status before committing to a 200 text/csv: a traceless
+	// document (the run had no occupancy sampling) must be a clean 404,
+	// never a JSON error appended to an already-started CSV body.
+	if !doc.HasTrace() {
+		httpError(w, http.StatusNotFound, "scenario %q: result document carries no trace", doc.Name)
+		return
+	}
 	w.Header().Set("Content-Type", "text/csv")
 	if err := doc.WriteTraceCSV(w, stride); err != nil {
-		// Headers are gone; all we can do is truncate mid-body. The "no
-		// trace" case is the only expected one and hits before any write.
-		httpError(w, http.StatusNotFound, "%v", err)
+		// Headers are gone, so this can only be a transport write failure;
+		// truncating mid-body is all that's left (the client sees a short
+		// read, not a corrupted-but-plausible CSV with JSON stitched on).
+		return
 	}
 }
 
@@ -272,7 +306,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case req.Name != "":
-		spec, err = catalogSpec(req.Name, req.Scale)
+		spec, err = CatalogSpec(req.Name, req.Scale)
 		if err != nil {
 			httpError(w, http.StatusNotFound, "%v", err)
 			return
@@ -296,16 +330,96 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.SubmitSweep(spec, axes)
 	if err != nil {
-		// Capacity refusals are retryable (503); everything else —
-		// including an over-cap grid — is a client error (400).
+		// Capacity refusals are retryable (503; draining additionally
+		// carries Retry-After); everything else — including an over-cap
+		// grid — is a client error (400).
 		status := http.StatusBadRequest
-		if errors.Is(err, ErrQueueFull) {
-			status = http.StatusServiceUnavailable
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+			status = submitStatus(w, err)
 		}
 		httpError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// batchRequest is the POST /v1/batch body: many strict-JSON specs in
+// one submission, with an optional batch-wide scale override.
+type batchRequest struct {
+	Specs []json.RawMessage `json:"specs"`
+	Scale string            `json:"scale,omitempty"`
+}
+
+// BatchItem is one POST /v1/batch response entry, in request order:
+// either the submitted job's status snapshot or that spec's error (with
+// the HTTP status the same spec would have drawn from POST /v1/runs).
+type BatchItem struct {
+	Job   *JobStatus `json:"job,omitempty"`
+	Error string     `json:"error,omitempty"`
+	Code  int        `json:"code,omitempty"`
+}
+
+// maxBatchSpecs bounds one batch submission (the body size bound still
+// applies on top).
+const maxBatchSpecs = 512
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil || len(body) > maxSpecBytes {
+		httpError(w, http.StatusBadRequest, "bad batch body (max %d bytes)", maxSpecBytes)
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing batch request: %v", err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		httpError(w, http.StatusBadRequest, "batch request has no specs")
+		return
+	}
+	if len(req.Specs) > maxBatchSpecs {
+		httpError(w, http.StatusBadRequest, "batch has %d specs (cap %d)", len(req.Specs), maxBatchSpecs)
+		return
+	}
+	var scale scenario.Scale
+	if req.Scale != "" {
+		if scale, err = scenario.ParseScale(req.Scale); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	// One POST, many job IDs: each spec goes through the exact Submit
+	// path a lone POST /v1/runs takes (cache hit / coalesce / enqueue /
+	// refuse), and failures stay per-item so one bad spec doesn't void
+	// the rest of the batch.
+	items := make([]BatchItem, len(req.Specs))
+	for i, raw := range req.Specs {
+		spec, err := scenario.ParseSpec(raw)
+		if err != nil {
+			items[i] = BatchItem{Error: err.Error(), Code: http.StatusBadRequest}
+			continue
+		}
+		if req.Scale != "" {
+			spec.Scale = scale
+		}
+		st, err := s.Submit(spec)
+		if err != nil {
+			items[i] = BatchItem{Error: err.Error(), Code: batchCode(err)}
+			continue
+		}
+		items[i] = BatchItem{Job: &st}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"runs": items})
+}
+
+// batchCode is submitStatus without the header side effect (per-item
+// errors can't set response headers).
+func batchCode(err error) int {
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 func (s *Service) handleCache(w http.ResponseWriter, r *http.Request) {
@@ -314,14 +428,4 @@ func (s *Service) handleCache(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
-}
-
-// encodeTableDoc marshals a table document compactly with a trailing
-// newline (the sweep-result format).
-func encodeTableDoc(d *scenario.TableDoc) ([]byte, error) {
-	data, err := json.Marshal(d)
-	if err != nil {
-		return nil, fmt.Errorf("service: marshaling sweep table %q: %w", d.ID, err)
-	}
-	return append(data, '\n'), nil
 }

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHTTPTraceAbsentIsClean404 pins the trace-endpoint fix: a done run
+// whose result document carries no trace must draw a clean JSON 404 —
+// never a 200 text/csv body with a JSON error stitched onto it (the
+// old handler set the headers before checking the document).
+func TestHTTPTraceAbsentIsClean404(t *testing.T) {
+	s, srv := startServer(t, Config{Workers: 1})
+
+	var st JobStatus
+	if code := post(t, srv.URL+"/v1/runs?name=quickstart&scale=quick", "", &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	view := awaitHTTP(t, srv.URL, st.ID)
+	if view.State != JobDone {
+		t.Fatalf("run ended %s: %s", view.State, view.Error)
+	}
+
+	// Re-home a traceless variant of the result in the cache, then
+	// resubmit: the cache hit births a done job whose document has no
+	// trace — exactly the state the old handler corrupted.
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(view.Result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["trace"]; !ok {
+		t.Fatal("precondition: quickstart result should carry a trace")
+	}
+	delete(doc, "trace")
+	traceless, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cache.Put(view.Fingerprint, traceless)
+
+	var hit JobStatus
+	if code := post(t, srv.URL+"/v1/runs?name=quickstart&scale=quick", "", &hit); code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	if !hit.Cached {
+		t.Fatal("resubmission should have hit the doctored cache entry")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/runs/" + hit.ID + "/trace.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traceless trace fetch: status %d, want 404; body %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("traceless trace fetch content-type %q, want application/json (not a started CSV)", ct)
+	}
+	var msg map[string]string
+	if err := json.Unmarshal(body, &msg); err != nil || msg["error"] == "" {
+		t.Fatalf("404 body is not a clean JSON error: %q", body)
+	}
+	if strings.Contains(string(body), "time_s") {
+		t.Fatal("404 body contains CSV fragments: headers were committed before the trace check")
+	}
+}
+
+// TestHTTPDrainingIs503WithRetryAfter pins the shutdown-taxonomy fix:
+// submissions to a draining service are 503 + Retry-After (come back,
+// a replacement will answer), distinguishable from queue-full's plain
+// 503 and from internal errors' 500.
+func TestHTTPDrainingIs503WithRetryAfter(t *testing.T) {
+	s, srv := startServer(t, Config{Workers: 1})
+	s.Close()
+
+	check := func(path, body string) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s on a draining service: status %d, want 503", path, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "1" {
+			t.Fatalf("POST %s draining 503 Retry-After = %q, want \"1\"", path, ra)
+		}
+	}
+	check("/v1/runs?name=quickstart&scale=quick", "")
+	check("/v1/sweeps", `{"name":"quickstart","scale":"quick","axes":["policy.kind=dt,occamy"]}`)
+
+	// Batch items carry the same distinction per item (no header — the
+	// code rides in the item).
+	var page struct {
+		Runs []BatchItem `json:"runs"`
+	}
+	spec, err := CatalogSpec("quickstart", "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post(t, srv.URL+"/v1/batch", `{"specs":[`+string(raw)+`]}`, &page); code != http.StatusAccepted {
+		t.Fatalf("batch on draining service: status %d, want 202 with per-item errors", code)
+	}
+	if len(page.Runs) != 1 || page.Runs[0].Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining batch item: %+v, want code 503", page.Runs)
+	}
+}
+
+// TestHTTPQueueFullHasNoRetryAfter pins the other half of the
+// taxonomy: a saturated queue is a plain 503 without Retry-After.
+func TestHTTPQueueFullHasNoRetryAfter(t *testing.T) {
+	_, srv := startServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Fill the worker and the single queue slot with paper-scale runs,
+	// then overflow with unique specs (mutated seeds defeat the cache
+	// and coalescing).
+	spec, err := CatalogSpec("incast-storm-256", "paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRefusal := false
+	for seed := uint64(1); seed <= 10 && !sawRefusal; seed++ {
+		sp := spec
+		sp.Seed = seed
+		body, err := sp.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			sawRefusal = true
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				t.Fatalf("queue-full 503 carries Retry-After %q; that header is the draining signal", ra)
+			}
+		} else if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission %d: status %d", seed, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if !sawRefusal {
+		t.Fatal("10 paper-scale submissions into a 1-worker/1-slot service never overflowed")
+	}
+}
+
+// TestHTTPBatch pins the worker-side batch endpoint: one POST, many
+// job IDs, per-item errors in request order, duplicates deduplicated by
+// the cache/coalescing layer.
+func TestHTTPBatch(t *testing.T) {
+	s, srv := startServer(t, Config{Workers: 2})
+
+	spec, err := CatalogSpec("quickstart", "quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"specs":[` + string(raw) + `,{"bogus":true},` + string(raw) + `]}`
+
+	var page struct {
+		Runs []BatchItem `json:"runs"`
+	}
+	if code := post(t, srv.URL+"/v1/batch", body, &page); code != http.StatusAccepted {
+		t.Fatalf("batch POST: status %d", code)
+	}
+	if len(page.Runs) != 3 {
+		t.Fatalf("batch returned %d items, want 3", len(page.Runs))
+	}
+	if page.Runs[1].Job != nil || page.Runs[1].Code != http.StatusBadRequest {
+		t.Fatalf("malformed item: %+v, want 400", page.Runs[1])
+	}
+	for _, i := range []int{0, 2} {
+		if page.Runs[i].Job == nil {
+			t.Fatalf("item %d errored: %s", i, page.Runs[i].Error)
+		}
+		if view := awaitHTTP(t, srv.URL, page.Runs[i].Job.ID); view.State != JobDone {
+			t.Fatalf("item %d ended %s: %s", i, view.State, view.Error)
+		}
+	}
+	// The duplicate coalesced onto the first (or hit its cache entry).
+	c := s.Stats().Counters
+	if c.Submitted != 2 {
+		t.Fatalf("server counted %d submissions, want 2 (the bad spec never reaches Submit)", c.Submitted)
+	}
+	if c.Coalesced+c.CacheHits != 1 {
+		t.Fatalf("duplicate spec neither coalesced nor cache-hit: %+v", c)
+	}
+
+	// Oversize and empty batches are refused outright.
+	if code := post(t, srv.URL+"/v1/batch", `{"specs":[]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", code)
+	}
+}

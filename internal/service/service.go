@@ -24,6 +24,12 @@ var ErrQueueFull = errors.New("service: job queue full")
 // costs O(axes), not O(points).
 var ErrSweepTooLarge = errors.New("service: sweep grid too large")
 
+// ErrClosed refuses submissions to a closed or draining service. HTTP
+// maps it to 503 with a Retry-After header — the client should come
+// back once a replacement instance is up — unlike ErrQueueFull's plain
+// 503 (same process, just saturated right now).
+var ErrClosed = errors.New("service: shutting down")
+
 // JobState is a job's lifecycle position.
 type JobState string
 
@@ -220,7 +226,7 @@ func (s *Service) Submit(spec scenario.Spec) (JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return JobStatus{}, fmt.Errorf("service: shutting down")
+		return JobStatus{}, ErrClosed
 	}
 	s.counters.Submitted++
 	if cached != nil {
@@ -271,7 +277,7 @@ func (s *Service) SubmitSweep(spec scenario.Spec, axes []scenario.SweepAxis) (Jo
 		return JobStatus{}, fmt.Errorf("%w: grid has > %d points (cap %d)",
 			ErrSweepTooLarge, s.maxSweepPoints, s.maxSweepPoints)
 	}
-	fp, err := sweepFingerprint(spec, axes)
+	fp, err := SweepFingerprint(spec, axes)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -290,7 +296,7 @@ func (s *Service) SubmitSweep(spec scenario.Spec, axes []scenario.SweepAxis) (Jo
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return JobStatus{}, fmt.Errorf("service: shutting down")
+		return JobStatus{}, ErrClosed
 	}
 	s.counters.Submitted++
 	if cached != nil {
@@ -314,8 +320,8 @@ func (s *Service) SubmitSweep(spec scenario.Spec, axes []scenario.SweepAxis) (Jo
 	return j.status(), nil
 }
 
-// sweepFingerprint extends the spec fingerprint with the sweep axes.
-func sweepFingerprint(spec scenario.Spec, axes []scenario.SweepAxis) (string, error) {
+// SweepFingerprint extends the spec fingerprint with the sweep axes.
+func SweepFingerprint(spec scenario.Spec, axes []scenario.SweepAxis) (string, error) {
 	fp, err := spec.Fingerprint()
 	if err != nil {
 		return "", err
@@ -580,5 +586,5 @@ func runSweepJob(spec scenario.Spec, axes []scenario.SweepAxis, cancel *atomic.B
 		return nil, err
 	}
 	doc := scenario.NewTableDoc(tab)
-	return encodeTableDoc(&doc)
+	return doc.Encode()
 }

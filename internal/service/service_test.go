@@ -237,7 +237,7 @@ func TestSweepJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	doc := scenario.NewTableDoc(tab)
-	want, err := encodeTableDoc(&doc)
+	want, err := doc.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}

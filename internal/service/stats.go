@@ -75,6 +75,7 @@ var endpointPatterns = []string{
 	"GET /v1/runs/{id}/trace.csv",
 	"DELETE /v1/runs/{id}",
 	"POST /v1/sweeps",
+	"POST /v1/batch",
 	"GET /v1/cache",
 	"GET /v1/stats",
 }
