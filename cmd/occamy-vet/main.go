@@ -1,0 +1,136 @@
+// Command occamy-vet runs the occamy-specific static analyzers (and,
+// by default, stock `go vet`) over the module, plus an escape-analysis
+// budget gate for the hot-path datapaths. It exits non-zero if any
+// diagnostic or budget violation is found, so CI can gate on it.
+//
+// Usage:
+//
+//	go run ./cmd/occamy-vet [flags] [packages]
+//
+//	occamy-vet                  # go vet + custom analyzers over ./...
+//	occamy-vet -novet           # custom analyzers only
+//	occamy-vet -escapes         # escape-budget gate only
+//	occamy-vet -update-escapes  # rewrite budget counts in escapes.txt
+//	occamy-vet -list            # describe the custom analyzers
+//
+// See LINT.md for the invariants each analyzer enforces and the
+// //occamy:ordered suppression directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"occamy/internal/lint"
+)
+
+func main() {
+	var (
+		escapes       = flag.Bool("escapes", false, "run only the escape-analysis budget gate")
+		updateEscapes = flag.Bool("update-escapes", false, "rewrite the budget counts in -allow from the current build, then exit")
+		allow         = flag.String("allow", "internal/lint/escapes.txt", "escape budget file, relative to -C")
+		novet         = flag.Bool("novet", false, "skip the stock `go vet` pass")
+		list          = flag.Bool("list", false, "describe the custom analyzers and exit")
+		moduleDir     = flag.String("C", ".", "module root to analyze")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, strings.ReplaceAll(strings.TrimSpace(a.Doc), "\n", "\n             "))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *escapes || *updateEscapes {
+		os.Exit(runEscapeGate(*moduleDir, *allow, patterns, *updateEscapes))
+	}
+	os.Exit(runAnalyzers(*moduleDir, patterns, !*novet))
+}
+
+func runAnalyzers(moduleDir string, patterns []string, stockVet bool) int {
+	exit := 0
+	if stockVet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = moduleDir
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			exit = 1
+		}
+	}
+
+	pkgs, err := lint.Load(moduleDir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-vet:", err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "occamy-vet: %s: %v\n", pkg.ImportPath, terr)
+			exit = 1
+		}
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-vet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+		exit = 1
+	}
+	return exit
+}
+
+func runEscapeGate(moduleDir, allowPath string, patterns []string, update bool) int {
+	escapes, err := lint.CollectEscapes(moduleDir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-vet:", err)
+		return 2
+	}
+	allowFile := allowPath
+	if !strings.HasPrefix(allowFile, "/") {
+		allowFile = moduleDir + "/" + allowFile
+	}
+	if update {
+		if err := lint.UpdateEscapeBudgets(allowFile, escapes); err != nil {
+			fmt.Fprintln(os.Stderr, "occamy-vet:", err)
+			return 2
+		}
+		fmt.Printf("occamy-vet: rewrote budgets in %s from %d escape diagnostics\n", allowPath, len(escapes))
+		return 0
+	}
+	f, err := os.Open(allowFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-vet:", err)
+		return 2
+	}
+	defer f.Close()
+	budgets, err := lint.ParseEscapeBudgets(f, allowPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-vet:", err)
+		return 2
+	}
+	violations, err := lint.CheckEscapeBudgets(moduleDir, budgets, escapes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-vet:", err)
+		return 2
+	}
+	for _, v := range violations {
+		fmt.Println("occamy-vet: escape budget:", v)
+	}
+	if len(violations) > 0 {
+		return 1
+	}
+	fmt.Printf("occamy-vet: %d hot-path escape budgets hold (%d escape diagnostics module-wide)\n", len(budgets), len(escapes))
+	return 0
+}

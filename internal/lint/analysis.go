@@ -1,0 +1,146 @@
+// Package lint is occamy's static-analysis suite: custom analyzers
+// enforcing the invariants the whole stack rests on — deterministic
+// cores free of wall clocks and global randomness, a single-threaded
+// event core, ordered map iteration wherever order becomes output,
+// all-atomic-or-none field access, and validate-before-commit HTTP
+// handlers. LINT.md documents each invariant and why it exists.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, positional diagnostics, `want`-comment fixtures)
+// but is built on the standard library alone, so the module keeps its
+// zero-dependency property. cmd/occamy-vet is the multichecker.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check, run once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("detrand").
+	Name string
+	// Doc is the one-paragraph description printed by occamy-vet -list.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test sources, with comments.
+	Files []*ast.File
+	// PkgPath is the import path ("occamy/internal/sim"); fixture
+	// packages use their testdata-relative path ("sim").
+	PkgPath string
+	// Pkg and TypesInfo come from the type checker. Pkg may be
+	// incomplete if the package had type errors; analyzers must
+	// tolerate nil objects in the info maps.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// NewPass assembles a Pass outside RunAnalyzers — the seam linttest
+// uses to drive an analyzer over a fixture package.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkgPath string,
+	pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		PkgPath:   pkgPath,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    report,
+	}
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position (then analyzer name), so output order is
+// deterministic — the suite holds itself to its own maporder rules.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				PkgPath:   pkg.ImportPath,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// calleeFunc resolves a call expression to the function object it
+// invokes, or nil (builtins, type conversions, indirect calls).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is a package-level function (not a
+// method) of the package with the given import path.
+func isPkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

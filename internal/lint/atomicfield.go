@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicfield: a field accessed atomically anywhere must be accessed
+// atomically everywhere.
+//
+// Mixing atomic.AddInt64(&s.n, 1) with a plain `s.n` read is a data
+// race that -race only catches when the scheduler produces the bad
+// interleaving during a test run — the lock-free histogram in
+// internal/metrics is exactly the shape where this rots silently. The
+// analyzer records every struct field passed by address to a
+// sync/atomic package-level function, then flags every plain
+// (non-atomic) selector access to those fields in the same package.
+// Typed atomics (atomic.Uint64 etc.) are race-free by construction and
+// never recorded — preferring them is the real fix.
+
+// AnalyzerAtomicfield is the mixed atomic/plain field-access check.
+var AnalyzerAtomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic functions anywhere must be accessed atomically " +
+		"everywhere; prefer the typed atomics (atomic.Int64, atomic.Bool, ...)",
+	Run: runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	// Pass 1: fields whose address reaches a sync/atomic function, and
+	// the selector nodes already under an atomic call or address-of
+	// (those are not plain accesses).
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic site
+	addressTaken := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			u, ok := n.(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			addressTaken[sel] = true
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !isPkgFunc(fn, "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVar(pass, sel); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = sel.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other selector access to those fields is a race.
+	// Address-of sites are skipped (the pointer may feed an atomic op
+	// through a helper); composite-literal keys are bare idents, not
+	// selectors, so constructor initialization is naturally exempt.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || addressTaken[sel] {
+				return true
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil {
+				return true
+			}
+			if first, isAtomic := atomicFields[fv]; isAtomic {
+				pass.Reportf(sel.Pos(), "plain access to field %q, which is accessed atomically at %s; every access must go through sync/atomic (or make the field a typed atomic)",
+					fv.Name(), pass.Fset.Position(first))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

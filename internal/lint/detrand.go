@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrand: no wall clocks, global randomness, or environment reads in
+// the deterministic core.
+//
+// A run is byte-identical given its seed — that is the contract every
+// golden table, the sha256 result cache, and the consistent-hash fleet
+// sharding depend on. One stray time.Now or global rand.Intn produces
+// plausible-but-wrong results the goldens only catch for the scenarios
+// they pin. Seeded *rand.Rand instances (rand.New(rand.NewSource(s)))
+// stay legal: determinism comes from owning the seed, not from
+// avoiding randomness.
+
+// AnalyzerDetrand is the determinism-source check.
+var AnalyzerDetrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid time.Now/Since/Until, global math/rand top-level functions, and os environment reads " +
+		"in the deterministic core packages (seeded *rand.Rand instances remain legal)",
+	Run: runDetrand,
+}
+
+// detrandForbidden maps package path -> function name -> replacement
+// hint. Only package-level functions are matched, so *rand.Rand
+// methods (seeded sources) never trip it.
+var detrandForbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "use sim time (sim.Time) or take an injected clock",
+		"Since": "use sim time (sim.Time) or take an injected clock",
+		"Until": "use sim time (sim.Time) or take an injected clock",
+	},
+	"os": {
+		"Getenv":    "thread configuration through the Spec instead",
+		"LookupEnv": "thread configuration through the Spec instead",
+		"Environ":   "thread configuration through the Spec instead",
+	},
+	"math/rand":    nil, // nil: all package-level funcs except the constructors
+	"math/rand/v2": nil,
+}
+
+// detrandRandConstructors are the math/rand{,/v2} package-level
+// functions that build seeded generators rather than consulting the
+// global source.
+var detrandRandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDetrand(pass *Pass) error {
+	if !IsDeterministicCore(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath := fn.Pkg().Path()
+			names, watched := detrandForbidden[pkgPath]
+			if !watched || !isPkgFunc(fn, pkgPath) {
+				return true
+			}
+			switch {
+			case names != nil:
+				if hint, bad := names[fn.Name()]; bad {
+					pass.Reportf(sel.Pos(), "%s.%s is nondeterministic and %s is under the determinism contract; %s",
+						fn.Pkg().Name(), fn.Name(), pass.PkgPath, hint)
+				}
+			default: // math/rand{,/v2}: global-source functions
+				if !detrandRandConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "global %s.%s draws from the process-wide source and breaks seeded replay in %s; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+						fn.Pkg().Name(), fn.Name(), pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives
+//
+// A `//occamy:ordered <reason>` comment — on the line of a range
+// statement or the line directly above it — tells maporder that the
+// iteration's effect order is intentionally map-random (or made
+// deterministic by means the analyzer can't see).
+//
+// A `//occamy:concurrent <reason>` comment does the same for
+// nogoroutine: it marks a sanctioned concurrency seam in the event
+// core (e.g. a process-global ID counter shared by engines the sweep
+// runner drives in parallel).
+//
+// In both cases the reason is mandatory: a bare directive is itself a
+// diagnostic, so suppressions stay auditable.
+
+const (
+	orderedDirective    = "//occamy:ordered"
+	concurrentDirective = "//occamy:concurrent"
+)
+
+// directiveSet records, per file and line, the suppressions of one
+// directive kind found in a package.
+type directiveSet struct {
+	// lines maps filename -> line -> reason text (may be empty).
+	lines map[string]map[int]string
+}
+
+// collectOrdered gathers the occamy:ordered directives of the package
+// and reports any that lack a reason.
+func collectOrdered(pass *Pass) *directiveSet {
+	return collectDirective(pass, orderedDirective,
+		"occamy:ordered directive needs a reason (\"//occamy:ordered <why map order is safe here>\")")
+}
+
+// collectConcurrent gathers the occamy:concurrent directives of the
+// package and reports any that lack a reason.
+func collectConcurrent(pass *Pass) *directiveSet {
+	return collectDirective(pass, concurrentDirective,
+		"occamy:concurrent directive needs a reason (\"//occamy:concurrent <why this seam is safe>\")")
+}
+
+func collectDirective(pass *Pass, directive, reasonlessMsg string) *directiveSet {
+	d := &directiveSet{lines: make(map[string]map[int]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directive) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directive)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // some other word: occamy:orderedX
+				}
+				pos := pass.Fset.Position(c.Pos())
+				reason := strings.TrimSpace(rest)
+				if reason == "" {
+					pass.Reportf(c.Pos(), "%s", reasonlessMsg)
+				}
+				m := d.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					d.lines[pos.Filename] = m
+				}
+				m[pos.Line] = reason
+			}
+		}
+	}
+	return d
+}
+
+// suppressed reports whether a directive with a reason covers pos:
+// same line, or the line immediately above. A reasonless directive
+// never suppresses — it is itself a diagnostic.
+func (d *directiveSet) suppressed(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	m := d.lines[p.Filename]
+	if m == nil {
+		return false
+	}
+	if r, ok := m[p.Line]; ok && r != "" {
+		return true
+	}
+	if r, ok := m[p.Line-1]; ok && r != "" {
+		return true
+	}
+	return false
+}
+
+// funcBodies visits every function body in the file exactly once,
+// calling fn with the body of each FuncDecl and FuncLit.
+func funcBodies(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				fn(v.Body)
+			}
+		case *ast.FuncLit:
+			if v.Body != nil {
+				fn(v.Body)
+			}
+		}
+		return true
+	})
+}

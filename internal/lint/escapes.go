@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape-budget gate complements the analyzers: the analyzers keep
+// the *source* deterministic, the gate keeps the *compiled* hot paths
+// allocation-free. It parses `go build -gcflags=-m` diagnostics,
+// attributes every "escapes to heap" / "moved to heap" line to its
+// enclosing function, and compares the per-function counts against a
+// committed budget file (internal/lint/escapes.txt). A function that
+// gains an escape beyond its budget fails the gate; a budget entry
+// whose function no longer exists fails too, so the file cannot go
+// stale silently.
+
+// Escape is one heap-escape diagnostic attributed to its enclosing
+// function.
+type Escape struct {
+	File string // module-root-relative path, as printed by the compiler
+	Line int
+	Func string // receiver-qualified name, e.g. (*Engine).push; "" at package scope
+	Msg  string
+}
+
+// EscapeBudget is one line of the allowlist: the named function in the
+// named package directory may contain at most Budget heap escapes.
+type EscapeBudget struct {
+	Pkg    string // package dir relative to the module root, e.g. internal/sim
+	Func   string // receiver-qualified, e.g. (*Engine).push
+	Budget int
+}
+
+var escapeLineRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+func isEscapeMsg(msg string) bool {
+	return strings.HasSuffix(msg, "escapes to heap") ||
+		strings.Contains(msg, "escapes to heap:") ||
+		strings.HasPrefix(msg, "moved to heap:")
+}
+
+// CollectEscapes runs `go build -gcflags=-m <patterns>` in moduleDir
+// and returns the attributed heap-escape diagnostics. The build cache
+// replays compiler stderr, so repeated runs are cheap.
+func CollectEscapes(moduleDir string, patterns ...string) ([]Escape, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var out bytes.Buffer
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		// -m output goes to stderr even on success; a build failure
+		// leaves real errors there too, so surface them.
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+	return parseEscapes(moduleDir, &out)
+}
+
+// parseEscapes scans -m output and attributes each escape diagnostic
+// to its enclosing function by parsing the referenced file once.
+func parseEscapes(moduleDir string, r io.Reader) ([]Escape, error) {
+	cache := map[string][]funcSpan{}
+	var escapes []Escape
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeLineRe.FindStringSubmatch(sc.Text())
+		if m == nil || !isEscapeMsg(m[4]) {
+			continue
+		}
+		line, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		file := m[1]
+		// The build cache replays stderr from dependency builds too
+		// (stdlib files show up with absolute paths); only
+		// module-relative paths belong to the gate.
+		if filepath.IsAbs(file) || strings.HasPrefix(file, "..") {
+			continue
+		}
+		spans, ok := cache[file]
+		if !ok {
+			spans, err = fileFuncSpans(filepath.Join(moduleDir, file))
+			if err != nil {
+				return nil, fmt.Errorf("attributing %s:%d: %v", file, line, err)
+			}
+			cache[file] = spans
+		}
+		escapes = append(escapes, Escape{
+			File: file,
+			Line: line,
+			Func: enclosingFunc(spans, line),
+			Msg:  m[4],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return escapes, nil
+}
+
+type funcSpan struct {
+	start, end int // line range, inclusive
+	name       string
+}
+
+func fileFuncSpans(path string) ([]funcSpan, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var spans []funcSpan
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		spans = append(spans, funcSpan{
+			start: fset.Position(fd.Pos()).Line,
+			end:   fset.Position(fd.End()).Line,
+			name:  funcDeclName(fd),
+		})
+	}
+	return spans, nil
+}
+
+// funcDeclName renders a receiver-qualified function name the way the
+// budget file spells it: push, (*Engine).push, Time.String.
+func funcDeclName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	ptr := false
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	switch x := t.(type) { // drop type parameters on generic receivers
+	case *ast.IndexExpr:
+		t = x.X
+	case *ast.IndexListExpr:
+		t = x.X
+	}
+	name := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		name = id.Name
+	}
+	if ptr {
+		return "(*" + name + ")." + fd.Name.Name
+	}
+	return name + "." + fd.Name.Name
+}
+
+func enclosingFunc(spans []funcSpan, line int) string {
+	for _, s := range spans {
+		if s.start <= line && line <= s.end {
+			return s.name
+		}
+	}
+	return ""
+}
+
+// ParseEscapeBudgets reads the budget file: one entry per line,
+// `<pkg-dir> <func> <max-escapes>`, '#' comments and blank lines
+// ignored.
+func ParseEscapeBudgets(r io.Reader, filename string) ([]EscapeBudget, error) {
+	var budgets []EscapeBudget
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want `<pkg-dir> <func> <max-escapes>`, got %q", filename, lineno, line)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%s:%d: bad escape budget %q", filename, lineno, fields[2])
+		}
+		budgets = append(budgets, EscapeBudget{Pkg: fields[0], Func: fields[1], Budget: n})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return budgets, nil
+}
+
+// CountEscapes folds attributed escapes into per-(pkg-dir, func)
+// counts, keyed the way budget entries are spelled.
+func CountEscapes(escapes []Escape) map[string]int {
+	counts := map[string]int{}
+	for _, e := range escapes {
+		if e.Func == "" {
+			continue
+		}
+		counts[escapeKey(filepath.ToSlash(filepath.Dir(e.File)), e.Func)]++
+	}
+	return counts
+}
+
+func escapeKey(pkg, fn string) string { return pkg + " " + fn }
+
+// CheckEscapeBudgets compares attributed escapes against the budgets.
+// It returns one human-readable violation per over-budget function and
+// per stale budget entry (a function that no longer exists in its
+// package — moduleDir is consulted to verify existence).
+func CheckEscapeBudgets(moduleDir string, budgets []EscapeBudget, escapes []Escape) ([]string, error) {
+	counts := CountEscapes(escapes)
+	// First occurrence positions make violations actionable.
+	firstAt := map[string]string{}
+	for _, e := range escapes {
+		k := escapeKey(filepath.ToSlash(filepath.Dir(e.File)), e.Func)
+		if _, ok := firstAt[k]; !ok {
+			firstAt[k] = fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+		}
+	}
+	var violations []string
+	for _, b := range budgets {
+		k := escapeKey(b.Pkg, b.Func)
+		got := counts[k]
+		if got > b.Budget {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: %d heap escapes, budget %d (first: %s)", b.Pkg, b.Func, got, b.Budget, firstAt[k]))
+			continue
+		}
+		ok, err := funcExistsIn(filepath.Join(moduleDir, b.Pkg), b.Func)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s %s: stale budget entry, no such function (update internal/lint/escapes.txt)", b.Pkg, b.Func))
+		}
+	}
+	sort.Strings(violations)
+	return violations, nil
+}
+
+// funcExistsIn reports whether the receiver-qualified function name is
+// declared in any non-test .go file of the package directory.
+func funcExistsIn(dir, fn string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, fmt.Errorf("escape budget: %v", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		spans, err := fileFuncSpans(filepath.Join(dir, name))
+		if err != nil {
+			return false, err
+		}
+		for _, s := range spans {
+			if s.name == fn {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// UpdateEscapeBudgets rewrites the budget counts in the file at path to
+// the observed counts, preserving comments, blank lines, and entry
+// order. Entries for functions with zero current escapes keep budget 0.
+func UpdateEscapeBudgets(path string, escapes []Escape) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	counts := CountEscapes(escapes)
+	var out strings.Builder
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		fields := strings.Fields(trimmed)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") || len(fields) != 3 {
+			out.WriteString(line)
+			out.WriteByte('\n')
+			continue
+		}
+		fmt.Fprintf(&out, "%s %s %d\n", fields[0], fields[1], counts[escapeKey(fields[0], fields[1])])
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(out.String()), 0o644)
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeEscapeFixture lays out a fake module with one package so escape
+// attribution and staleness checks have real files to parse.
+func writeEscapeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := `package p
+
+func Hot(n int) *int {
+	m := n * 2
+	return &m
+}
+
+func (w Widget) Spin() int {
+	return 1
+}
+
+type Widget struct{}
+`
+	if err := os.MkdirAll(filepath.Join(dir, "pkg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pkg", "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const fakeMOutput = `# example/pkg
+pkg/f.go:3:6: can inline Hot
+pkg/f.go:4:2: moved to heap: m
+pkg/f.go:5:9: &m escapes to heap
+pkg/f.go:8:7: w does not escape
+/usr/local/go/src/net/http/mapping.go:30: v escapes to heap
+pkg/nosuch.go: malformed line without numbers
+`
+
+func TestParseEscapesAttribution(t *testing.T) {
+	dir := writeEscapeFixture(t)
+	escapes, err := parseEscapes(dir, strings.NewReader(fakeMOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(escapes) != 2 {
+		t.Fatalf("got %d escapes, want 2: %+v", len(escapes), escapes)
+	}
+	for _, e := range escapes {
+		if e.File != "pkg/f.go" || e.Func != "Hot" {
+			t.Errorf("escape %+v: want file pkg/f.go func Hot", e)
+		}
+	}
+	counts := CountEscapes(escapes)
+	if counts["pkg Hot"] != 2 {
+		t.Errorf("CountEscapes = %v, want pkg Hot -> 2", counts)
+	}
+}
+
+func TestCheckEscapeBudgets(t *testing.T) {
+	dir := writeEscapeFixture(t)
+	escapes, err := parseEscapes(dir, strings.NewReader(fakeMOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	within := []EscapeBudget{
+		{Pkg: "pkg", Func: "Hot", Budget: 2},
+		{Pkg: "pkg", Func: "Widget.Spin", Budget: 0},
+	}
+	if v, err := CheckEscapeBudgets(dir, within, escapes); err != nil || len(v) != 0 {
+		t.Fatalf("within-budget check: violations=%v err=%v", v, err)
+	}
+
+	over := []EscapeBudget{{Pkg: "pkg", Func: "Hot", Budget: 1}}
+	v, err := CheckEscapeBudgets(dir, over, escapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "2 heap escapes, budget 1") {
+		t.Fatalf("over-budget check: %v", v)
+	}
+
+	stale := []EscapeBudget{{Pkg: "pkg", Func: "(*Gone).Missing", Budget: 0}}
+	v, err = CheckEscapeBudgets(dir, stale, escapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 || !strings.Contains(v[0], "stale budget entry") {
+		t.Fatalf("stale-entry check: %v", v)
+	}
+}
+
+func TestParseEscapeBudgets(t *testing.T) {
+	in := `# comment
+internal/sim (*Engine).push 0
+
+internal/pkt (*Pool).Get 1
+`
+	budgets, err := ParseEscapeBudgets(strings.NewReader(in), "escapes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EscapeBudget{
+		{Pkg: "internal/sim", Func: "(*Engine).push", Budget: 0},
+		{Pkg: "internal/pkt", Func: "(*Pool).Get", Budget: 1},
+	}
+	if len(budgets) != len(want) {
+		t.Fatalf("got %v, want %v", budgets, want)
+	}
+	for i := range want {
+		if budgets[i] != want[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, budgets[i], want[i])
+		}
+	}
+
+	if _, err := ParseEscapeBudgets(strings.NewReader("too few fields\n"), "escapes.txt"); err == nil {
+		t.Error("malformed line: want error, got nil")
+	}
+}
+
+func TestUpdateEscapeBudgets(t *testing.T) {
+	dir := writeEscapeFixture(t)
+	escapes, err := parseEscapes(dir, strings.NewReader(fakeMOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "escapes.txt")
+	orig := "# header stays\npkg Hot 0\n\npkg Widget.Spin 5\n"
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateEscapeBudgets(path, escapes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# header stays\npkg Hot 2\n\npkg Widget.Spin 0\n"
+	if string(got) != want {
+		t.Errorf("updated file:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRepoEscapeBudgetsHold is the live gate: the committed budgets in
+// escapes.txt must hold against the current compiler output, so a hot
+// path gaining an allocation fails `go test ./...`, not just CI's
+// dedicated step. The build is cache-replayed, so this is cheap after
+// the first run.
+func TestRepoEscapeBudgetsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go build")
+	}
+	moduleDir := "../.."
+	escapes, err := CollectEscapes(moduleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(moduleDir, "internal", "lint", "escapes.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	budgets, err := ParseEscapeBudgets(f, "escapes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(budgets) == 0 {
+		t.Fatal("escapes.txt has no entries")
+	}
+	violations, err := CheckEscapeBudgets(moduleDir, budgets, escapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("escape budget: %s", v)
+	}
+}

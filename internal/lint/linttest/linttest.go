@@ -1,0 +1,171 @@
+// Package linttest runs lint analyzers over testdata fixture packages
+// and checks their diagnostics against `// want "regexp"` comments —
+// the analysistest convention, rebuilt on the standard library.
+//
+// A fixture package lives at <root>/src/<path>/ and is type-checked
+// with import path <path>, so package-allowlist matching (lint.
+// IsDeterministicCore and friends) behaves exactly as it does on the
+// real tree: a fixture directory named "sim" is a core package, one
+// named "edge" is not.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"occamy/internal/lint"
+)
+
+// srcImporter is shared across fixture checks so the standard library
+// is type-checked from source once per test process, not once per
+// fixture.
+var (
+	srcImporterOnce sync.Once
+	srcImporterFset *token.FileSet
+	srcImporterVal  types.Importer
+)
+
+func sharedImporter() (*token.FileSet, types.Importer) {
+	srcImporterOnce.Do(func() {
+		srcImporterFset = token.NewFileSet()
+		srcImporterVal = importer.ForCompiler(srcImporterFset, "source", nil)
+	})
+	return srcImporterFset, srcImporterVal
+}
+
+// Run type-checks each fixture package under root ("testdata/src") and
+// applies the analyzer, comparing diagnostics against the fixtures'
+// want comments. pkgs are root-relative paths ("detrand/core").
+func Run(t *testing.T, root string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(strings.ReplaceAll(pkg, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(root, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *lint.Analyzer) {
+	t.Helper()
+	fset, imp := sharedImporter()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	info := lint.NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { t.Errorf("fixture type error: %v", err) },
+	}
+	typesPkg, _ := conf.Check(pkgPath, fset, files, info)
+
+	var got []lint.Diagnostic
+	pass := lint.NewPass(a, fset, files, pkgPath, typesPkg, info, func(d lint.Diagnostic) {
+		got = append(got, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	checkWants(t, fset, files, got)
+}
+
+// wantRe matches one expectation after a want marker: double-quoted or
+// backquoted.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// checkWants diffs diagnostics against `// want "re"` comments by
+// (file, line). A `// want-below "re"` comment expects the diagnostic
+// on the line after the comment — the escape hatch for diagnostics
+// reported at comment positions (a reasonless //occamy:ordered), where
+// a same-line want cannot live inside the directive itself.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, got []lint.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				offset := 0
+				if below := strings.Index(c.Text, "want-below "); below >= 0 {
+					idx, offset = below, 1
+				}
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					k := key{filepath.Base(pos.Filename), pos.Line + offset}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range got {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+	var missing []string
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, and type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors collects type-checker complaints. Analyzers still run
+	// on partially-checked packages, but occamy-vet surfaces these so a
+	// broken build can't silently weaken the analysis.
+	TypeErrors []error
+}
+
+// listedPackage is the slice of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load enumerates the packages matching patterns (as `go list` resolves
+// them, from moduleDir), parses their non-test sources, and type-checks
+// them in dependency order. Module-local imports resolve against the
+// already-checked set; everything else (the standard library) falls back
+// to the source importer, so no compiled export data is required.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+	}
+	order, err := topoOrder(listed, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	imp := &chainImporter{
+		local:    checked,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	var out []*Package
+	for _, lp := range order {
+		pkg, err := checkOne(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types != nil {
+			checked[lp.ImportPath] = pkg.Types
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList shells out to the go tool for package metadata — the one
+// authority on module layout (build tags, pattern expansion, testdata
+// exclusion).
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Imports"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// topoOrder sorts the listed packages so every module-local import
+// precedes its importers (imports outside the listed set — stdlib —
+// are the fallback importer's problem).
+func topoOrder(listed []*listedPackage, byPath map[string]*listedPackage) ([]*listedPackage, error) {
+	// Deterministic starting order, so ties break identically run-to-run.
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(listed))
+	var out []*listedPackage
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		switch state[lp.ImportPath] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", lp.ImportPath)
+		}
+		state[lp.ImportPath] = visiting
+		for _, dep := range lp.Imports {
+			if d := byPath[dep]; d != nil {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[lp.ImportPath] = done
+		out = append(out, lp)
+		return nil
+	}
+	for _, lp := range listed {
+		if err := visit(lp); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// checkOne parses and type-checks a single package.
+func checkOne(fset *token.FileSet, lp *listedPackage, imp types.ImporterFrom) (*Package, error) {
+	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.TypesInfo = NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the (possibly incomplete) package even on error;
+	// the collected TypeErrors carry the details.
+	pkg.Types, _ = conf.Check(lp.ImportPath, fset, pkg.Files, pkg.TypesInfo)
+	return pkg, nil
+}
+
+// NewTypesInfo allocates the info maps the analyzers rely on.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// chainImporter resolves module-local imports from the already-checked
+// set and delegates the rest (stdlib) to the source importer.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg := c.local[path]; pkg != nil {
+		return pkg, nil
+	}
+	if from, ok := c.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return c.fallback.Import(path)
+}

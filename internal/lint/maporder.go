@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// maporder: map iteration order must never become output order.
+//
+// Go randomizes map iteration on purpose; any loop that turns that
+// order into an observable sequence — appending to a slice that is
+// never sorted, sending on a channel, printing — is a determinism bug
+// that reproduces only sometimes. The analyzer flags range-over-map
+// loops with such order-dependent effects unless a dominating sort
+// follows (the collect-keys-then-sort idiom) or an `//occamy:ordered
+// <reason>` directive vouches for the site. Pure aggregation (sums,
+// maxima, counting, writes into another map) is order-independent and
+// never flagged.
+
+// AnalyzerMaporder is the ordered-map-iteration check.
+var AnalyzerMaporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose body appends/sends/prints (order-dependent effects) without a " +
+		"dominating sort; suppress intentionally unordered sites with //occamy:ordered <reason>",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	dirs := collectOrdered(pass)
+	for _, f := range pass.Files {
+		funcBodies(f, func(body *ast.BlockStmt) {
+			maporderStmts(pass, dirs, body.List)
+		})
+	}
+	return nil
+}
+
+// maporderStmts walks a statement list, checking each range-over-map
+// against the statements that follow it (where a dominating sort would
+// live), and recursing into nested statement lists of the same
+// function. Function literals are not descended into here — funcBodies
+// visits them separately.
+func maporderStmts(pass *Pass, dirs *directiveSet, list []ast.Stmt) {
+	for i, stmt := range list {
+		switch v := stmt.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(v.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, dirs, v, list[i+1:])
+				}
+			}
+			maporderStmts(pass, dirs, v.Body.List)
+		case *ast.ForStmt:
+			maporderStmts(pass, dirs, v.Body.List)
+		case *ast.BlockStmt:
+			maporderStmts(pass, dirs, v.List)
+		case *ast.IfStmt:
+			maporderStmts(pass, dirs, v.Body.List)
+			switch e := v.Else.(type) {
+			case *ast.BlockStmt:
+				maporderStmts(pass, dirs, e.List)
+			case *ast.IfStmt:
+				maporderStmts(pass, dirs, []ast.Stmt{e})
+			}
+		case *ast.SwitchStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					maporderStmts(pass, dirs, cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					maporderStmts(pass, dirs, cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					maporderStmts(pass, dirs, cc.Body)
+				}
+			}
+		case *ast.LabeledStmt:
+			maporderStmts(pass, dirs, []ast.Stmt{v.Stmt})
+		}
+	}
+}
+
+// checkMapRange inspects one range-over-map for order-dependent
+// effects; rest is the remainder of the enclosing statement list, where
+// a dominating sort would appear.
+func checkMapRange(pass *Pass, dirs *directiveSet, rs *ast.RangeStmt, rest []ast.Stmt) {
+	if dirs.suppressed(pass.Fset, rs.For) {
+		return
+	}
+	var appended []types.Object // outer slices appended to, in body order
+	inspectNoFuncLit(rs.Body, func(n ast.Node) {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "channel send inside range over map: receive order depends on map iteration; iterate sorted keys or annotate //occamy:ordered <reason>")
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, v); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+				pass.Reportf(v.Pos(), "%s.%s inside range over map emits in map-iteration order; iterate sorted keys or annotate //occamy:ordered <reason>", fn.Pkg().Name(), fn.Name())
+			}
+		case *ast.AssignStmt:
+			if obj := appendTarget(pass, v, rs); obj != nil {
+				appended = append(appended, obj)
+			}
+		}
+	})
+	for _, obj := range appended {
+		if !sortedLater(pass, rest, obj) {
+			pass.Reportf(rs.For, "range over map appends to %q in map-iteration order without a dominating sort; sort %q after the loop, iterate sorted keys, or annotate //occamy:ordered <reason>",
+				obj.Name(), obj.Name())
+		}
+	}
+}
+
+// appendTarget reports the object a statement appends to, when that
+// object outlives the loop: `v = append(v, ...)` with v declared
+// outside the range body. Appends to per-iteration locals are
+// order-independent.
+func appendTarget(pass *Pass, as *ast.AssignStmt, rs *ast.RangeStmt) types.Object {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[lhs]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[lhs]
+	}
+	if obj == nil {
+		return nil
+	}
+	// Declared inside the loop body: per-iteration, order-independent.
+	if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+		return nil
+	}
+	return obj
+}
+
+// sortedLater reports whether any statement after the loop calls a
+// sort/slices ordering function with obj among its arguments — the
+// dominating sort that makes the append order irrelevant.
+func sortedLater(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		inspectNoFuncLit(stmt, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return
+			}
+			for _, arg := range call.Args {
+				if mentionsObject(pass, arg, obj) {
+					found = true
+					return
+				}
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsObject reports whether expr contains an identifier resolving
+// to obj.
+func mentionsObject(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// inspectNoFuncLit walks n without descending into function literals
+// (their bodies belong to a different execution context).
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, isLit := node.(*ast.FuncLit); isLit {
+			return false
+		}
+		if node != nil {
+			fn(node)
+		}
+		return true
+	})
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nogoroutine: the event core is single-threaded by construction.
+//
+// Conservative parallel DES (ROADMAP direction 4) only stays correct if
+// all parallelism crosses the sanctioned seams (experiments.RunGrid,
+// the future shard horizon exchange) — a goroutine, channel, or lock
+// *inside* the event loop would let scheduler timing leak into event
+// order, which is exactly the class of bug -race and goldens catch only
+// when the interleaving cooperates. So inside the event core the whole
+// toolbox is banned: go statements, channel makes/sends/receives/
+// ranges, select, and every sync/sync-atomic primitive.
+
+// AnalyzerNogoroutine is the single-threaded-event-core check.
+var AnalyzerNogoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid go statements, channel operations, select, and sync/sync-atomic primitives inside " +
+		"the single-threaded event core; parallelism flows only through the sanctioned seams " +
+		"(suppress a deliberate seam with //occamy:concurrent <reason>)",
+	Run: runNogoroutine,
+}
+
+func runNogoroutine(pass *Pass) error {
+	if !IsEventCore(pass.PkgPath) {
+		return nil
+	}
+	seams := collectConcurrent(pass)
+	report := func(pos token.Pos, format string, args ...any) {
+		if seams.suppressed(pass.Fset, pos) {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.GoStmt:
+				report(v.Pos(), "go statement in single-threaded event core %s; route parallelism through a sanctioned seam (experiments.RunGrid, shard boundary)", pass.PkgPath)
+			case *ast.SendStmt:
+				report(v.Pos(), "channel send in single-threaded event core %s", pass.PkgPath)
+			case *ast.SelectStmt:
+				report(v.Pos(), "select statement in single-threaded event core %s", pass.PkgPath)
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW {
+					report(v.Pos(), "channel receive in single-threaded event core %s", pass.PkgPath)
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(v.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						report(v.Pos(), "range over channel in single-threaded event core %s", pass.PkgPath)
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "make" {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						if t := pass.TypesInfo.TypeOf(v); t != nil {
+							if _, isChan := t.Underlying().(*types.Chan); isChan {
+								report(v.Pos(), "channel creation in single-threaded event core %s", pass.PkgPath)
+							}
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				obj := pass.TypesInfo.Uses[v.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if p := obj.Pkg().Path(); p == "sync" || p == "sync/atomic" {
+					report(v.Pos(), "%s.%s in single-threaded event core %s; the event loop takes no locks — hoist shared state to a seam", p, obj.Name(), pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package a exercises atomicfield: a field whose address reaches a
+// sync/atomic function must be accessed atomically at every other site
+// too.
+package a
+
+import "sync/atomic"
+
+type mixed struct {
+	hits int64
+	name string
+}
+
+func (m *mixed) inc() {
+	atomic.AddInt64(&m.hits, 1)
+}
+
+func (m *mixed) read() int64 {
+	return m.hits // want `plain access to field "hits", which is accessed atomically at`
+}
+
+func (m *mixed) reset() {
+	m.hits = 0       // want `plain access to field "hits", which is accessed atomically at`
+	m.name = "reset" // a never-atomic field stays free
+}
+
+// allAtomic is the false-positive guard: every access goes through
+// sync/atomic, so nothing is flagged.
+type allAtomic struct {
+	n uint64
+}
+
+func (a *allAtomic) inc() { atomic.AddUint64(&a.n, 1) }
+
+func (a *allAtomic) get() uint64 { return atomic.LoadUint64(&a.n) }
+
+// typed uses the typed atomics, race-free by construction: methods on
+// atomic.Int64 are not package-level sync/atomic functions, so the
+// field is never recorded and plain-looking method calls are legal.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) inc() int64 { return t.n.Add(1) }
+
+func (t *typed) get() int64 { return t.n.Load() }
+
+// helper takes the address without an atomic call in sight; address-of
+// sites are conservatively skipped (the pointer may feed an atomic op
+// elsewhere).
+func helper(m *mixed) *int64 { return &m.hits }

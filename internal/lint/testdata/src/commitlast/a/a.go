@@ -1,0 +1,108 @@
+// Package a exercises commitlast: handlers must decide the status
+// before the first byte is committed.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+type doc struct{}
+
+func (doc) WriteCSV(w http.ResponseWriter, stride int) error { return nil }
+
+func (doc) HasTrace() bool { return true }
+
+func load(id string) (doc, error) {
+	if id == "" {
+		return doc{}, errors.New("no doc")
+	}
+	return doc{}, nil
+}
+
+// commitThenError is the PR-8 handleTrace bug shape: the 200 and
+// Content-Type are on the wire before the document is validated.
+func commitThenError(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	d, err := load(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "no such doc", http.StatusNotFound) // want `error response written after the response was already committed`
+		return
+	}
+	_ = d.WriteCSV(w, 1)
+}
+
+// doubleHeader commits twice: the second status line is dropped.
+func doubleHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "hello")
+	w.WriteHeader(http.StatusInternalServerError) // want `WriteHeader after the response was already committed`
+}
+
+// lateHelperTouch writes through a helper in an error branch after the
+// body started: also the bug, even without a literal http.Error.
+func lateHelperTouch(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintf(w, "partial")
+	d, err := load("x")
+	if err != nil {
+		respondError(w, 500) // want `writer used in an error branch after the response was already committed`
+		return
+	}
+	_ = d
+}
+
+func respondError(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// validateThenCommit is the fixed shape: every error path resolves
+// before the first write. No diagnostics.
+func validateThenCommit(w http.ResponseWriter, r *http.Request) {
+	d, err := load(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "no such doc", http.StatusNotFound)
+		return
+	}
+	if !d.HasTrace() {
+		http.Error(w, "no trace", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	if err := d.WriteCSV(w, 1); err != nil {
+		return // headers are gone; truncating is all that's left — legal
+	}
+}
+
+// streaming keeps writing after the intentional commit — body writes
+// in a loop are not error writes. No diagnostics.
+func streaming(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(w, "row %d\n", i)
+	}
+}
+
+// committedBranchReturns commits inside a branch that returns: nothing
+// leaks to the error path below. No diagnostics.
+func committedBranchReturns(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("fast") != "" {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "fast path")
+		return
+	}
+	_, err := load("x")
+	if err != nil {
+		http.Error(w, "nope", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// notAHandler has a writer but no request: out of scope.
+func notAHandler(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+	w.WriteHeader(code) // no request param, not handler-shaped
+}

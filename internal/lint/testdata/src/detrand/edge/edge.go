@@ -1,0 +1,16 @@
+// Package edge is the detrand false-positive guard: it is not on the
+// deterministic-core allowlist, so wall clocks, global rand, and the
+// environment are all fair game — no diagnostics expected anywhere.
+package edge
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func uptime(start time.Time) time.Duration {
+	_ = os.Getenv("HOME")
+	_ = rand.Intn(10)
+	return time.Since(start)
+}

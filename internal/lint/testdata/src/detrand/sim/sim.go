@@ -1,0 +1,45 @@
+// Package sim is a detrand fixture: its base name matches the
+// deterministic-core allowlist, so every wall-clock, global-rand, and
+// environment read below must be flagged.
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()   // want `time\.Now is nondeterministic`
+	_ = time.Since(start) // want `time\.Since is nondeterministic`
+	_ = time.Until(start) // want `time\.Until is nondeterministic`
+	return time.Duration(1) * time.Second
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `global rand\.Intn draws from the process-wide source`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand\.Shuffle draws from the process-wide source`
+	_ = randv2.Int64()                 // want `global rand\.Int64 draws from the process-wide source`
+	return n
+}
+
+func env() string {
+	v := os.Getenv("OCCAMY_SEED")       // want `os\.Getenv is nondeterministic`
+	if _, ok := os.LookupEnv("X"); ok { // want `os\.LookupEnv is nondeterministic`
+		return ""
+	}
+	return v
+}
+
+// seededRand is the false-positive guard: seeded generators are the
+// sanctioned way to be random, and *rand.Rand methods must never trip
+// the global-function rule.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v2 := randv2.New(randv2.NewPCG(1, 2))
+	return rng.Float64() + v2.Float64() + float64(rng.Intn(4))
+}
+
+// simTime is fine: time.Duration arithmetic is pure.
+func simTime(d time.Duration) time.Duration { return d * 2 }

@@ -1,0 +1,110 @@
+// Package a exercises maporder: order-dependent effects inside
+// range-over-map must be flagged unless a dominating sort follows or
+// an //occamy:ordered directive vouches for the site.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// badAppend leaks map order into a slice that is never sorted.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to "out" in map-iteration order without a dominating sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// goodSortedAfter is the collect-then-sort idiom: the append order is
+// erased by the dominating sort.
+func goodSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSlicesSort accepts the slices package spelling too.
+func goodSlicesSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sortInts(vals)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func sortInts([]int) {}
+
+// goodAggregation only folds order-independent state: no diagnostic.
+func goodAggregation(m map[string]int) (int, int) {
+	sum, max := 0, 0
+	for _, v := range m {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	return sum, max
+}
+
+// goodMapToMap writes into another map — insertion order is invisible.
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// goodLocalAppend appends to a per-iteration local: order-independent.
+func goodLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		row := []int{}
+		row = append(row, vs...)
+		n += len(row)
+	}
+	return n
+}
+
+// badPrint emits in map order.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over map emits in map-iteration order`
+	}
+}
+
+// badSend pushes map order into a channel.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// suppressed carries the directive with a reason: no diagnostic.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//occamy:ordered summed downstream, order never observed
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// reasonless directives are themselves diagnostics, and do not
+// suppress.
+func reasonless(m map[string]int) []string {
+	var out []string
+	// want-below `occamy:ordered directive needs a reason`
+	//occamy:ordered
+	for k := range m { // want `appends to "out" in map-iteration order`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package edge is the nogoroutine false-positive guard: not an
+// event-core package, so worker pools and locks are legal — no
+// diagnostics expected.
+package edge
+
+import "sync"
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	results := make(chan int, len(work))
+	for _, w := range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w()
+			results <- 1
+		}()
+	}
+	wg.Wait()
+}

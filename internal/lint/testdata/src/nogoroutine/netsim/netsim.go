@@ -1,0 +1,53 @@
+// Package netsim is a nogoroutine fixture: its base name is on the
+// event-core allowlist, so every concurrency primitive below must be
+// flagged.
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type engine struct {
+	mu sync.Mutex   // want `sync\.Mutex in single-threaded event core`
+	n  atomic.Int64 // want `sync/atomic\.Int64 in single-threaded event core`
+}
+
+func spawn() {
+	go func() {}() // want `go statement in single-threaded event core`
+}
+
+func channels() {
+	ch := make(chan int, 1) // want `channel creation in single-threaded event core`
+	ch <- 1                 // want `channel send in single-threaded event core`
+	<-ch                    // want `channel receive in single-threaded event core`
+	for range ch {          // want `range over channel in single-threaded event core`
+	}
+	select { // want `select statement in single-threaded event core`
+	default:
+	}
+}
+
+func locks(e *engine) {
+	e.mu.Lock()         // want `sync\.Lock in single-threaded event core`
+	defer e.mu.Unlock() // want `sync\.Unlock in single-threaded event core`
+}
+
+// A sanctioned seam carries //occamy:concurrent with a reason and is
+// not flagged; a reasonless directive suppresses nothing and is itself
+// a diagnostic.
+
+//occamy:concurrent global ID counter, IDs are unique-only
+var nextID atomic.Uint64
+
+func newID() uint64 {
+	//occamy:concurrent same seam, unique-only
+	return nextID.Add(1)
+}
+
+func badSeam() {
+	// want-below `occamy:concurrent directive needs a reason`
+	//occamy:concurrent
+	var mu sync.Mutex // want `sync\.Mutex in single-threaded event core`
+	_ = mu
+}

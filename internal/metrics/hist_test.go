@@ -108,3 +108,52 @@ func TestHistogramConcurrentRecord(t *testing.T) {
 		t.Errorf("snapshot inconsistent: %+v", s)
 	}
 }
+
+// Readers (Snapshot/Quantile/Mean) run lock-free against concurrent
+// writers: every Histogram field is a typed atomic, the invariant the
+// atomicfield analyzer guards. This test exists to fail under -race if
+// anyone downgrades a field to a plain int.
+func TestHistogramConcurrentReadersAndWriters(t *testing.T) {
+	h := NewLatencyHistogram()
+	const writers, per = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				if s.Count > writers*per {
+					t.Errorf("snapshot count %d exceeds writes %d", s.Count, writers*per)
+					return
+				}
+				_ = h.Quantile(0.99)
+				_ = h.Mean()
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	// Writers finish first, then release the readers.
+	for h.Count() < writers*per {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*per)
+	}
+}

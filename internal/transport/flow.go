@@ -75,8 +75,11 @@ func (o Options) WithDefaults() Options {
 // nextPktID hands out globally unique packet IDs. It is atomic so that
 // independent engines may run concurrently (the parallel sweep runner);
 // IDs only need to be unique, they never influence simulation behavior.
+//
+//occamy:concurrent global ID counter shared across engines; IDs are unique-only, never ordered on
 var nextPktID atomic.Uint64
 
 func newPktID() uint64 {
+	//occamy:concurrent same seam: IDs are unique-only, never ordered on
 	return nextPktID.Add(1)
 }
