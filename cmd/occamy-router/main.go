@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"occamy/internal/fleet"
+	"occamy/internal/obs"
 )
 
 func main() {
@@ -55,6 +56,8 @@ func main() {
 	sweepCacheMB := flag.Int64("sweep-cache-mb", 64, "aggregated-sweep result-cache budget in MB")
 	pointTimeout := flag.Duration("point-timeout", 10*time.Minute, "per-point submit-to-done budget inside a sweep")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+	logLevel := flag.String("log-level", "", "structured JSON logs on stderr at this level (debug, info, warn, error; empty = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
 	var urls []string
@@ -68,6 +71,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	logger, err := obs.NewLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-router:", err)
+		os.Exit(2)
+	}
+	obs.StartPprof(*pprofAddr)
+
 	if err := run(*addr, fleet.Config{
 		Workers:         urls,
 		Replicas:        *replicas,
@@ -76,6 +86,7 @@ func main() {
 		Burst:           *burst,
 		SweepCacheBytes: *sweepCacheMB << 20,
 		PointTimeout:    *pointTimeout,
+		Logger:          logger,
 	}, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -142,6 +142,7 @@ func run(args []string) {
 	jsonOut := fs.Bool("json", false, "print the canonical JSON result document instead of tables")
 	traceOut := fs.String("trace", "", "write per-switch occupancy time series to this CSV file and print sparklines")
 	traceStride := fs.Int("trace-stride", 1, "keep every Nth trace sample in the CSV (paper-scale runs; 1 = full resolution)")
+	progress := fs.Bool("progress", false, "render a live progress line on stderr (sim-time %, events/sec, sim/wall ratio)")
 	var sweeps, sets multiFlag
 	fs.Var(&sweeps, "sweep", "grid axis: specfield=v1,v2,... (repeatable)")
 	fs.Var(&sets, "set", "single override: specfield=value (repeatable)")
@@ -173,6 +174,7 @@ func run(args []string) {
 		}
 		runSpec(spec.ApplyScale(), name, sweeps, sets, runOpts{
 			deep: *deep, json: *jsonOut, traceOut: *traceOut, traceStride: *traceStride,
+			progress: *progress,
 		})
 		return
 	}
@@ -204,6 +206,7 @@ func run(args []string) {
 		}
 		runSpec(sc.SpecAt(scale), n, sweeps, sets, runOpts{
 			deep: *deep, json: *jsonOut, traceOut: *traceOut, traceStride: *traceStride,
+			progress: *progress,
 		})
 	}
 }
@@ -214,6 +217,7 @@ type runOpts struct {
 	json        bool
 	traceOut    string
 	traceStride int
+	progress    bool
 }
 
 // runSpec applies overrides and executes one spec: a single run (with
@@ -249,7 +253,15 @@ func runSpec(spec scenario.Spec, name string, sweeps, sets []string, opts runOpt
 			}
 			axes[i] = ax
 		}
-		tab, err := scenario.RunSweep(spec, axes)
+		var pointDone func()
+		var finish func()
+		if opts.progress {
+			pointDone, finish = sweepProgressLine(name, axes)
+		}
+		tab, err := scenario.RunSweepWithProgress(spec, axes, nil, pointDone)
+		if finish != nil {
+			finish()
+		}
 		if err != nil {
 			fatalf("%s: %v", name, err)
 		}
@@ -260,7 +272,15 @@ func runSpec(spec scenario.Spec, name string, sweeps, sets []string, opts runOpt
 	if opts.json && (deep || traceOut != "") {
 		fatalf("%s: -json replaces all table/trace output; drop -deep/-trace (the document carries the tables and series)", name)
 	}
-	res, err := scenario.Run(spec)
+	var prog scenario.ProgressFunc
+	var finish func()
+	if opts.progress {
+		prog, finish = runProgressLine(name)
+	}
+	res, err := scenario.RunWithProgress(spec, nil, prog)
+	if finish != nil {
+		finish()
+	}
 	if err != nil {
 		fatalf("%s: %v", name, err)
 	}

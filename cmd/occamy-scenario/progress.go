@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"occamy/internal/scenario"
+)
+
+// Live progress line (-progress)
+//
+// The scenario layer publishes deterministic samples (virtual clock,
+// event count) at engine chunk boundaries; this file is the CLI's
+// consumer: it adds the wall clock, derives events/sec and the
+// sim-time/wall-time ratio (the ROADMAP headline metric), and repaints
+// one carriage-return line on stderr — stdout stays clean for tables
+// and -json documents. Repaints are throttled so the terminal, not the
+// simulation, pays for the rendering.
+
+const progressEvery = 100 * time.Millisecond
+
+// runProgressLine returns the ProgressFunc for a single run and a
+// finish func that paints the final 100% line and moves to a new line.
+func runProgressLine(name string) (scenario.ProgressFunc, func()) {
+	start := time.Now()
+	var last time.Time // single-run hook fires from one goroutine
+	paint := func(p scenario.RunProgress, final bool) {
+		wall := time.Since(start)
+		frac := 0.0
+		if p.SimHorizon > 0 {
+			frac = min(1, p.SimNow.Seconds()/p.SimHorizon.Seconds())
+		}
+		if final {
+			frac = 1
+		}
+		simNow := time.Duration(p.SimNow).Round(time.Microsecond)
+		horizon := time.Duration(p.SimHorizon).Round(time.Microsecond)
+		line := fmt.Sprintf("\r%s: %5.1f%% · sim %v/%v · %s events · %s ev/s · %.2g sim/wall",
+			name, frac*100, simNow, horizon,
+			humanCount(float64(p.Events)), humanCount(float64(p.Events)/wall.Seconds()), p.SimNow.Seconds()/wall.Seconds())
+		fmt.Fprint(os.Stderr, line)
+		if final {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	var lastSample scenario.RunProgress
+	hook := func(p scenario.RunProgress) {
+		lastSample = p
+		if now := time.Now(); p.Final || now.Sub(last) >= progressEvery {
+			last = now
+			paint(p, p.Final)
+		}
+	}
+	finish := func() {
+		if !lastSample.Final {
+			// Canceled or failed before the final sample: close the line so
+			// the error message starts clean.
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	return hook, finish
+}
+
+// sweepProgressLine returns the pointDone hook for a sweep (called
+// concurrently from grid workers) and a finish func.
+func sweepProgressLine(name string, axes []scenario.SweepAxis) (func(), func()) {
+	total := 1
+	for _, ax := range axes {
+		if len(ax.Values) > 0 {
+			total *= len(ax.Values)
+		}
+	}
+	start := time.Now()
+	var done atomic.Int64
+	var mu sync.Mutex
+	var last time.Time
+	paint := func(n int) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d points · %v elapsed",
+			name, n, total, time.Since(start).Round(time.Millisecond))
+	}
+	hook := func() {
+		n := int(done.Add(1))
+		mu.Lock()
+		defer mu.Unlock()
+		if now := time.Now(); n == total || now.Sub(last) >= progressEvery {
+			last = now
+			paint(n)
+		}
+	}
+	finish := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		paint(int(done.Load()))
+		fmt.Fprintln(os.Stderr)
+	}
+	return hook, finish
+}
+
+// humanCount renders a count with a k/M/G suffix.
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"occamy/internal/obs"
 	"occamy/internal/service"
 )
 
@@ -51,7 +52,16 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "job-ledger bound; oldest finished jobs expire past it (0 = 4096)")
 	maxSweep := flag.Int("max-sweep-points", 0, "maximum expanded grid points per sweep request (0 = 256)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight HTTP requests")
+	logLevel := flag.String("log-level", "", "structured JSON logs on stderr at this level (debug, info, warn, error; empty = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-served:", err)
+		os.Exit(2)
+	}
+	obs.StartPprof(*pprofAddr)
 
 	if err := run(*addr, service.Config{
 		Workers:        *workers,
@@ -60,6 +70,7 @@ func main() {
 		MaxSweepPoints: *maxSweep,
 		CacheBytes:     *cacheMB << 20,
 		CacheDir:       *cacheDir,
+		Logger:         logger,
 	}, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

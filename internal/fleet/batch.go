@@ -87,13 +87,18 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		shardSpecs[shard] = append(shardSpecs[shard], scaled)
 	}
 
+	// Each shard's sub-batch carries a ".w<shard>" child of the request
+	// trace; the worker then stamps ".N" per item (its own batch handler
+	// derives children), so every job ID in the fleet is grep-reachable
+	// from the one client submission.
+	trace := reqTrace(r)
 	for shard, idxs := range perShard {
 		sub, err := json.Marshal(batchRequest{Specs: shardSpecs[shard]})
 		if err != nil {
 			fillShardError(items, idxs, err.Error(), http.StatusInternalServerError)
 			continue
 		}
-		resp, err := rt.callWorker(shard, http.MethodPost, "/v1/batch", sub)
+		resp, err := rt.callWorker(shard, http.MethodPost, "/v1/batch", sub, service.ChildTrace(trace, "w", shard))
 		if err != nil {
 			fillShardError(items, idxs, err.Error(), http.StatusBadGateway)
 			continue

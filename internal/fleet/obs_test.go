@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"occamy/internal/metrics"
+	"occamy/internal/service"
+)
+
+// postTraced POSTs body with an X-Occamy-Trace header and decodes the
+// response, returning the echoed trace header.
+func postTraced(t *testing.T, url, trace, body string, out any) (echo string, status int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(service.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding POST %s response: %v", url, err)
+		}
+	}
+	return resp.Header.Get(service.TraceHeader), resp.StatusCode
+}
+
+// TestFleetTracePropagation pins the cross-tier trace contract: a trace
+// supplied to the router is echoed on the router's response, forwarded
+// to the home worker, stamped on the worker's job, and visible in the
+// terminal status polled back through the router. Sweep fan-out points
+// carry ".N" children of the sweep root on their worker-side jobs. Run
+// with -race: traces flow through the router's concurrent fan-out.
+func TestFleetTracePropagation(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	body, err := quickSpec(t, "burst-absorb").Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var st service.JobStatus
+	echo, code := postTraced(t, f.router.URL+"/v1/runs", "fleet-root", string(body), &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit through router: %d", code)
+	}
+	if echo != "fleet-root" {
+		t.Fatalf("router echoed trace %q, want the client's", echo)
+	}
+	if st.Trace != "fleet-root" {
+		t.Fatalf("worker job trace = %q, want the client's (router must forward the header)", st.Trace)
+	}
+	if view := await(t, f.router.URL, st.ID); view.Trace != "fleet-root" {
+		t.Fatalf("terminal status trace = %q through the router", view.Trace)
+	}
+
+	// Sweep: the router expands the grid and each point's worker-side
+	// job must carry a ".N" child of the sweep root.
+	var sweepSt service.JobStatus
+	sweepBody := `{"name":"burst-absorb","scale":"quick","axes":["policy.kind=dt,occamy"]}`
+	echo, code = postTraced(t, f.router.URL+"/v1/sweeps", "sweep-root", sweepBody, &sweepSt)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit: %d", code)
+	}
+	if echo != "sweep-root" || sweepSt.Trace != "sweep-root" {
+		t.Fatalf("sweep trace echo %q / status %q, want sweep-root", echo, sweepSt.Trace)
+	}
+	if view := await(t, f.router.URL, sweepSt.ID); view.State != service.JobDone {
+		t.Fatalf("sweep ended %s: %s", view.State, view.Error)
+	}
+	var children int
+	for _, w := range f.workers {
+		resp, err := http.Get(w.URL + "/v1/runs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var page struct {
+			Runs []service.JobStatus `json:"runs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range page.Runs {
+			if strings.HasPrefix(r.Trace, "sweep-root.") {
+				children++
+			}
+		}
+	}
+	if children != 2 {
+		t.Fatalf("found %d worker jobs with sweep-root.* traces, want 2 (one per grid point)", children)
+	}
+}
+
+// TestFleetMetricsExposed verifies both tiers serve a parseable
+// /metrics page with nonzero request counters after traffic.
+func TestFleetMetricsExposed(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	body, err := quickSpec(t, "quickstart").Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if _, code := postTraced(t, f.router.URL+"/v1/runs", "m", string(body), &st); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	await(t, f.router.URL, st.ID)
+
+	for _, base := range []string{f.router.URL, f.workers[0].URL, f.workers[1].URL} {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/metrics: %d", base, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != metrics.PromContentType {
+			t.Fatalf("%s/metrics content type %q", base, ct)
+		}
+		if !strings.Contains(string(page), "occamy_requests_total{") {
+			t.Fatalf("%s/metrics has no occamy_requests_total series:\n%s", base, page)
+		}
+	}
+
+	// The router must have counted the submit on its own ledger.
+	resp, err := http.Get(f.router.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sawSubmit bool
+	for _, line := range strings.Split(string(page), "\n") {
+		if strings.HasPrefix(line, `occamy_requests_total{endpoint="POST /v1/runs"}`) &&
+			!strings.HasSuffix(line, " 0") {
+			sawSubmit = true
+		}
+	}
+	if !sawSubmit {
+		t.Fatalf("router occamy_requests_total for POST /v1/runs is zero or missing:\n%s", page)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -46,6 +47,10 @@ type Config struct {
 	PointTimeout time.Duration
 	// Client overrides the HTTP client used to reach workers.
 	Client *http.Client
+	// Logger receives structured request and sweep-lifecycle records
+	// (occamy-router wires a JSON handler behind -log-level). nil
+	// discards everything.
+	Logger *slog.Logger
 }
 
 // Counters is the router's own cumulative ledger, reported under
@@ -88,6 +93,7 @@ type Router struct {
 	pointWait  time.Duration
 	started    time.Time
 	endpoints  map[string]*metrics.Histogram
+	logger     *slog.Logger
 
 	mu       sync.Mutex
 	sweeps   map[string]*sweepJob // by router job id
@@ -104,23 +110,64 @@ type sweepJob struct {
 	spec        scenario.Spec
 	axes        []scenario.SweepAxis
 	fingerprint string
+	trace       string
 
-	state     service.JobState
-	cached    bool
-	errMsg    string
-	result    []byte
-	cancel    atomic.Bool
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	state  service.JobState
+	cached bool
+	errMsg string
+	result []byte
+	cancel atomic.Bool
+	// pointsDone counts grid points that have landed (incremented by the
+	// concurrent point runners); pointsTotal is the grid size. Together
+	// they drive the sweep's live-progress block.
+	pointsDone  atomic.Int64
+	pointsTotal int
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
 }
 
 func (j *sweepJob) status() service.JobStatus {
-	return service.JobStatus{
+	st := service.JobStatus{
 		ID: j.id, Kind: "sweep", State: j.state,
-		Scenario: j.spec.Name, Fingerprint: j.fingerprint, Cached: j.cached,
+		Scenario: j.spec.Name, Fingerprint: j.fingerprint, Trace: j.trace, Cached: j.cached,
 		Error: j.errMsg, Submitted: j.submitted, Started: j.started, Finished: j.finished,
 	}
+	if !j.started.IsZero() {
+		st.QueueWaitMs = durToMs(j.started.Sub(j.submitted))
+		switch {
+		case !j.finished.IsZero():
+			st.RunMs = durToMs(j.finished.Sub(j.started))
+		case j.state == service.JobRunning:
+			st.RunMs = durToMs(time.Since(j.started))
+		}
+		// Point-granular progress, the same schema the worker reports for
+		// its own sweep jobs.
+		if j.pointsTotal > 0 {
+			p := &service.Progress{
+				PointsDone:  int(j.pointsDone.Load()),
+				PointsTotal: j.pointsTotal,
+				WallSeconds: time.Since(j.started).Seconds(),
+			}
+			if !j.finished.IsZero() {
+				p.WallSeconds = j.finished.Sub(j.started).Seconds()
+			}
+			p.Fraction = float64(p.PointsDone) / float64(p.PointsTotal)
+			if j.state == service.JobDone {
+				p.Fraction = 1
+			}
+			st.Progress = p
+		}
+	}
+	return st
+}
+
+// durToMs mirrors the worker's duration rendering (ms, µs precision).
+func durToMs(d time.Duration) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return float64(d/time.Microsecond) / 1000
 }
 
 // NewRouter builds a router over the worker fleet.
@@ -145,6 +192,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	sweepCache, err := service.NewCache(cfg.SweepCacheBytes, "")
 	if err != nil {
 		return nil, err
@@ -160,6 +210,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		pointWait:  cfg.PointTimeout,
 		started:    time.Now(),
 		endpoints:  make(map[string]*metrics.Histogram, len(endpointPatterns)),
+		logger:     cfg.Logger,
 		sweeps:     make(map[string]*sweepJob),
 		inflight:   make(map[string]*sweepJob),
 	}
@@ -184,10 +235,13 @@ var endpointPatterns = []string{
 	"POST /v1/batch",
 	"GET /v1/cache",
 	"GET /v1/stats",
+	"GET /metrics",
 }
 
 // Handler returns the router's HTTP API — the same surface as one
-// occamy-served, fleet-wide.
+// occamy-served, fleet-wide. The middleware mirrors the worker's:
+// per-endpoint latency recording, X-Occamy-Trace establishment and
+// response echo, and a debug-level structured request record.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, fn http.HandlerFunc) {
@@ -197,8 +251,15 @@ func (rt *Router) Handler() http.Handler {
 		}
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
-			fn(w, r)
-			h.Record(time.Since(start))
+			trace := service.EnsureTrace(r)
+			w.Header().Set(service.TraceHeader, trace)
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			fn(sw, r)
+			d := time.Since(start)
+			h.Record(d)
+			rt.logger.Debug("http",
+				"method", r.Method, "route", pattern, "status", sw.status,
+				"trace", trace, "dur_ms", durToMs(d))
 		})
 	}
 	handle("GET /v1/scenarios", rt.handleScenarios)
@@ -212,7 +273,19 @@ func (rt *Router) Handler() http.Handler {
 	handle("POST /v1/batch", rt.handleBatch)
 	handle("GET /v1/cache", rt.handleCache)
 	handle("GET /v1/stats", rt.handleStats)
+	handle("GET /metrics", rt.handleMetrics)
 	return mux
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // httpError writes a JSON error body with the given status.
@@ -304,9 +377,11 @@ type workerResponse struct {
 }
 
 // callWorker performs one request against a shard, buffering the body
-// (bounded). Transport errors — the shard is down — come back as an
-// error; HTTP-level failures are the caller's to interpret.
-func (rt *Router) callWorker(shard int, method, path string, body []byte) (*workerResponse, error) {
+// (bounded) and propagating the trace ID so the worker's logs and job
+// ledger carry the router's request identity. Transport errors — the
+// shard is down — come back as an error; HTTP-level failures are the
+// caller's to interpret.
+func (rt *Router) callWorker(shard int, method, path string, body []byte, trace string) (*workerResponse, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -317,6 +392,9 @@ func (rt *Router) callWorker(shard int, method, path string, body []byte) (*work
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if trace != "" {
+		req.Header.Set(service.TraceHeader, trace)
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
@@ -344,12 +422,16 @@ func relay(w http.ResponseWriter, resp *workerResponse) {
 	_, _ = w.Write(resp.body)
 }
 
+// reqTrace reads the request's trace ID; the Handler middleware has
+// already ensured it is present and well-formed.
+func reqTrace(r *http.Request) string { return r.Header.Get(service.TraceHeader) }
+
 // proxyAny forwards a fleet-agnostic read (catalog listing/export) to
 // the first worker that answers.
-func (rt *Router) proxyAny(w http.ResponseWriter, path string) {
+func (rt *Router) proxyAny(w http.ResponseWriter, path, trace string) {
 	var lastErr error
 	for shard := range rt.workers {
-		resp, err := rt.callWorker(shard, http.MethodGet, path, nil)
+		resp, err := rt.callWorker(shard, http.MethodGet, path, nil, trace)
 		if err != nil {
 			lastErr = err
 			continue
@@ -361,7 +443,7 @@ func (rt *Router) proxyAny(w http.ResponseWriter, path string) {
 }
 
 func (rt *Router) handleScenarios(w http.ResponseWriter, r *http.Request) {
-	rt.proxyAny(w, "/v1/scenarios")
+	rt.proxyAny(w, "/v1/scenarios", reqTrace(r))
 }
 
 func (rt *Router) handleScenarioExport(w http.ResponseWriter, r *http.Request) {
@@ -369,7 +451,7 @@ func (rt *Router) handleScenarioExport(w http.ResponseWriter, r *http.Request) {
 	if scale := r.URL.Query().Get("scale"); scale != "" {
 		path += "?scale=" + scale
 	}
-	rt.proxyAny(w, path)
+	rt.proxyAny(w, path, reqTrace(r))
 }
 
 // --- runs -------------------------------------------------------------
@@ -397,7 +479,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	resp, err := rt.callWorker(shard, http.MethodPost, "/v1/runs", body)
+	resp, err := rt.callWorker(shard, http.MethodPost, "/v1/runs", body, reqTrace(r))
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "%v", err)
 		return
@@ -425,7 +507,7 @@ type jobView struct {
 func (rt *Router) handleJobs(w http.ResponseWriter, r *http.Request) {
 	var runs []service.JobStatus
 	for shard := range rt.workers {
-		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs", nil)
+		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs", nil, reqTrace(r))
 		if err != nil || resp.status != http.StatusOK {
 			continue // a dead shard degrades the listing, not the fleet
 		}
@@ -462,7 +544,7 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no run %s", id)
 		return
 	}
-	resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs/"+wid, nil)
+	resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs/"+wid, nil, reqTrace(r))
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "%v", err)
 		return
@@ -496,7 +578,7 @@ func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if stride := r.URL.Query().Get("stride"); stride != "" {
 		path += "?stride=" + stride
 	}
-	resp, err := rt.callWorker(shard, http.MethodGet, path, nil)
+	resp, err := rt.callWorker(shard, http.MethodGet, path, nil, reqTrace(r))
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "%v", err)
 		return
@@ -526,7 +608,7 @@ func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no run %s", id)
 		return
 	}
-	resp, err := rt.callWorker(shard, http.MethodDelete, "/v1/runs/"+wid, nil)
+	resp, err := rt.callWorker(shard, http.MethodDelete, "/v1/runs/"+wid, nil, reqTrace(r))
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "%v", err)
 		return

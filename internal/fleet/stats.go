@@ -47,7 +47,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	var workers, weightedUtil float64
 	for shard, url := range rt.workers {
 		fleet[shard].URL = url
-		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/stats", nil)
+		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/stats", nil, reqTrace(r))
 		if err != nil {
 			fleet[shard].Error = err.Error()
 			continue
@@ -133,7 +133,7 @@ func (rt *Router) handleCache(w http.ResponseWriter, r *http.Request) {
 	out := fleetCache{Workers: make([]workerCache, len(rt.workers))}
 	for shard, url := range rt.workers {
 		out.Workers[shard].URL = url
-		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/cache", nil)
+		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/cache", nil, reqTrace(r))
 		if err != nil {
 			out.Workers[shard].Error = err.Error()
 			continue

@@ -113,6 +113,7 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	now := time.Now().UTC()
+	trace := reqTrace(r)
 	rt.mu.Lock()
 	rt.counters.Sweeps++
 	// Same sweep already aggregating? Join it instead of fanning out a
@@ -126,7 +127,7 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if data := rt.sweepCache.Get(fp); data != nil {
 		rt.counters.SweepCacheHits++
-		j := rt.newSweepLocked(spec, axes, fp, now)
+		j := rt.newSweepLocked(spec, axes, fp, now, trace, len(pointSpecs))
 		j.state = service.JobDone
 		j.cached = true
 		j.result = data
@@ -136,11 +137,12 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, st)
 		return
 	}
-	j := rt.newSweepLocked(spec, axes, fp, now)
+	j := rt.newSweepLocked(spec, axes, fp, now, trace, len(pointSpecs))
 	rt.inflight[fp] = j
 	rt.counters.SweepPoints += int64(len(pointSpecs))
 	st := j.status()
 	rt.mu.Unlock()
+	rt.logSweep(j, "enqueued", "points", len(pointSpecs))
 
 	go rt.runSweep(j, pointSpecs)
 	writeJSON(w, http.StatusAccepted, st)
@@ -148,19 +150,30 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // newSweepLocked registers a fresh router sweep job; the caller holds
 // rt.mu.
-func (rt *Router) newSweepLocked(spec scenario.Spec, axes []scenario.SweepAxis, fp string, now time.Time) *sweepJob {
+func (rt *Router) newSweepLocked(spec scenario.Spec, axes []scenario.SweepAxis, fp string, now time.Time, trace string, points int) *sweepJob {
 	rt.seq++
 	j := &sweepJob{
 		id:          fmt.Sprintf("g%d", rt.seq),
 		spec:        spec,
 		axes:        axes,
 		fingerprint: fp,
+		trace:       trace,
+		pointsTotal: points,
 		state:       service.JobQueued,
 		submitted:   now,
 	}
 	rt.sweeps[j.id] = j
 	rt.order = append(rt.order, j.id)
 	return j
+}
+
+// logSweep emits one structured sweep-lifecycle record.
+func (rt *Router) logSweep(j *sweepJob, event string, attrs ...any) {
+	base := []any{"job", j.id, "kind", "sweep", "scenario", j.spec.Name, "state", string(j.state)}
+	if j.trace != "" {
+		base = append(base, "trace", j.trace)
+	}
+	rt.logger.Info(event, append(base, attrs...)...)
 }
 
 // errSweepCanceled aborts the aggregation when DELETE flags the job.
@@ -175,6 +188,7 @@ func (rt *Router) runSweep(j *sweepJob, pointSpecs []scenario.Spec) {
 	j.state = service.JobRunning
 	j.started = time.Now().UTC()
 	rt.mu.Unlock()
+	rt.logSweep(j, "started")
 
 	tables := make([]scenario.TableDoc, len(pointSpecs))
 	errs := make([]error, len(pointSpecs))
@@ -183,7 +197,10 @@ func (rt *Router) runSweep(j *sweepJob, pointSpecs []scenario.Spec) {
 		wg.Add(1)
 		go func(i int, ps scenario.Spec) {
 			defer wg.Done()
-			tables[i], errs[i] = rt.runPoint(j, ps)
+			tables[i], errs[i] = rt.runPoint(j, i, ps)
+			if errs[i] == nil {
+				j.pointsDone.Add(1)
+			}
 		}(i, ps)
 	}
 	wg.Wait()
@@ -230,17 +247,26 @@ func (rt *Router) finishSweep(j *sweepJob, state service.JobState, result []byte
 		delete(rt.inflight, j.fingerprint)
 	}
 	rt.mu.Unlock()
+	attrs := []any{"queue_wait_ms", durToMs(j.started.Sub(j.submitted)), "run_ms", durToMs(j.finished.Sub(j.started))}
+	if errMsg != "" {
+		attrs = append(attrs, "error", errMsg)
+	}
+	rt.logSweep(j, string(state), attrs...)
 }
 
 // runPoint submits one grid point to its home shard and polls it to a
-// terminal state, returning the point's summary table.
-func (rt *Router) runPoint(j *sweepJob, spec scenario.Spec) (scenario.TableDoc, error) {
+// terminal state, returning the point's summary table. Every request it
+// makes — submission and polls alike — carries the sweep trace's ".N"
+// child ID, so the worker-side job for grid point N greps back to the
+// router sweep that spawned it.
+func (rt *Router) runPoint(j *sweepJob, idx int, spec scenario.Spec) (scenario.TableDoc, error) {
+	trace := service.ChildTrace(j.trace, "", idx)
 	fp, err := spec.Fingerprint()
 	if err != nil {
 		return scenario.TableDoc{}, err
 	}
 	shard := rt.ring.Lookup(fp)
-	st, err := rt.submitPoint(j, shard, spec)
+	st, err := rt.submitPoint(j, shard, spec, trace)
 	if err != nil {
 		return scenario.TableDoc{}, err
 	}
@@ -249,7 +275,7 @@ func (rt *Router) runPoint(j *sweepJob, spec scenario.Spec) (scenario.TableDoc, 
 		if j.cancel.Load() {
 			return scenario.TableDoc{}, errSweepCanceled
 		}
-		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs/"+st.ID, nil)
+		resp, err := rt.callWorker(shard, http.MethodGet, "/v1/runs/"+st.ID, nil, trace)
 		if err != nil {
 			return scenario.TableDoc{}, err
 		}
@@ -293,7 +319,7 @@ func (rt *Router) runPoint(j *sweepJob, spec scenario.Spec) (scenario.TableDoc, 
 // down — the sweep fails rather than silently re-homing the point,
 // because a re-homed point would dodge the shard's cache and violate
 // the "equal specs, equal home" invariant.
-func (rt *Router) submitPoint(j *sweepJob, shard int, spec scenario.Spec) (service.JobStatus, error) {
+func (rt *Router) submitPoint(j *sweepJob, shard int, spec scenario.Spec, trace string) (service.JobStatus, error) {
 	body, err := spec.Marshal()
 	if err != nil {
 		return service.JobStatus{}, err
@@ -303,7 +329,7 @@ func (rt *Router) submitPoint(j *sweepJob, shard int, spec scenario.Spec) (servi
 		if j.cancel.Load() {
 			return service.JobStatus{}, errSweepCanceled
 		}
-		resp, err := rt.callWorker(shard, http.MethodPost, "/v1/runs", body)
+		resp, err := rt.callWorker(shard, http.MethodPost, "/v1/runs", body, trace)
 		if err != nil {
 			return service.JobStatus{}, err
 		}

@@ -13,7 +13,7 @@ import (
 // constructs outside the scoped packages draw no diagnostics.
 
 func TestDetrand(t *testing.T) {
-	linttest.Run(t, "testdata", lint.AnalyzerDetrand, "detrand/sim", "detrand/edge")
+	linttest.Run(t, "testdata", lint.AnalyzerDetrand, "detrand/sim", "detrand/edge", "detrand/scenario")
 }
 
 func TestMaporder(t *testing.T) {
@@ -48,6 +48,7 @@ func TestPackageScoping(t *testing.T) {
 		{"occamy/internal/fleet", false, false},
 		{"occamy/internal/loadgen", false, false},
 		{"occamy/internal/metrics", false, false},
+		{"occamy/internal/obs", false, false},
 		{"edge", false, false},
 	}
 	for _, c := range cases {

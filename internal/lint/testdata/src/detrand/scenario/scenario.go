@@ -1,0 +1,42 @@
+// Package scenario is a detrand fixture pinning the progress-publisher
+// seam: the scenario package (deterministic core) publishes progress
+// samples carrying only simulation-derived values — the virtual clock
+// and the event counter. Stamping a sample with the wall clock, rating
+// it in events per wall second, or throttling publication on wall time
+// are all service/CLI-layer jobs; doing any of them here must be
+// flagged, while the plain-callback publication itself is legal.
+package scenario
+
+import "time"
+
+// RunProgress mirrors the real seam: sim-derived values only.
+type RunProgress struct {
+	SimNow time.Duration // virtual clock — pure arithmetic, legal
+	Events uint64
+}
+
+// publishOK is the sanctioned shape: the hook receives values the
+// engine already owns; no wall clock anywhere.
+func publishOK(simNow time.Duration, events uint64, hook func(RunProgress)) {
+	if hook != nil {
+		hook(RunProgress{SimNow: simNow, Events: events})
+	}
+}
+
+// publishWallClock is the violation the fixture exists to pin: deriving
+// a wall-clock rate inside the deterministic core.
+func publishWallClock(start time.Time, events uint64, hook func(RunProgress, float64)) {
+	elapsed := time.Since(start) // want `time\.Since is nondeterministic`
+	hook(RunProgress{Events: events}, float64(events)/elapsed.Seconds())
+}
+
+// throttleWallClock is the subtler violation: even just *throttling*
+// publication on the wall clock makes the sample sequence — and with it
+// any replay log built from samples — timing-dependent.
+func throttleWallClock(last time.Time, hook func(RunProgress)) time.Time {
+	if now := time.Now(); now.Sub(last) > 100*time.Millisecond { // want `time\.Now is nondeterministic`
+		hook(RunProgress{})
+		return now
+	}
+	return last
+}

@@ -3,7 +3,10 @@
 // diagnostics expected.
 package edge
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 func fanOut(work []func()) {
 	var wg sync.WaitGroup
@@ -18,3 +21,15 @@ func fanOut(work []func()) {
 	}
 	wg.Wait()
 }
+
+// progressPublisher pins the service side of the progress seam: the
+// consumer of the deterministic core's samples lives outside the event
+// core, where atomic publication for lock-free status polls is exactly
+// what it should use.
+type progressPublisher struct {
+	latest atomic.Pointer[sample]
+}
+
+type sample struct{ fraction float64 }
+
+func (p *progressPublisher) publish(f float64) { p.latest.Store(&sample{fraction: f}) }

@@ -194,6 +194,24 @@ func latencySummary(ms []float64) LatencySummary {
 
 func round3(f float64) float64 { return float64(int64(f*1000+0.5)) / 1000 }
 
+// serverSubmitP99 returns the worst per-server handler p99 for
+// "POST /v1/runs" across the fetched /v1/stats snapshots, and how many
+// servers reported one.
+func (r *Report) serverSubmitP99() (p99 float64, n int) {
+	for _, t := range r.Targets {
+		if t.Stats == nil {
+			continue
+		}
+		e, ok := t.Stats.Endpoints["POST /v1/runs"]
+		if !ok || e.Count == 0 {
+			continue
+		}
+		n++
+		p99 = max(p99, e.P99Ms)
+	}
+	return p99, n
+}
+
 // Render prints the human-readable report.
 func (r *Report) Render() string {
 	var b strings.Builder
@@ -207,6 +225,17 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "  elapsed     %.2fs  throughput %.1f jobs/s\n", r.ElapsedSeconds, r.ThroughputPerSec)
 	fmt.Fprintf(&b, "  submit-to-done latency (ms): p50 %.3g  p90 %.3g  p99 %.3g  p999 %.3g  mean %.3g\n",
 		r.Latency.P50Ms, r.Latency.P90Ms, r.Latency.P99Ms, r.Latency.P999Ms, r.Latency.MeanMs)
+	if srvP99, n := r.serverSubmitP99(); n > 0 {
+		// Client p99 spans submit→poll→terminal; the server's handler p99
+		// covers only the POST itself. The gap is queueing + polling lag —
+		// the skew this line makes visible without opening /v1/stats.
+		fmt.Fprintf(&b, "  server-side  POST /v1/runs p99 %.3gms (client p99 %.3gms, skew %.3gms",
+			srvP99, r.Latency.P99Ms, r.Latency.P99Ms-srvP99)
+		if n > 1 {
+			fmt.Fprintf(&b, ", max over %d servers", n)
+		}
+		b.WriteString(")\n")
+	}
 	for _, e := range r.FirstErrors {
 		fmt.Fprintf(&b, "  error: %s\n", e)
 	}

@@ -134,6 +134,23 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// Buckets snapshots the per-bucket observation counts for exposition.
+// It returns the ascending upper bounds (shared, not copied — callers
+// must not mutate) and one count per bucket plus a final overflow count,
+// so len(counts) == len(bounds)+1. The snapshot is taken bucket-by-
+// bucket; concurrent Records may land between loads, which Prometheus
+// semantics tolerate (the next scrape catches up).
+func (h *Histogram) Buckets() (bounds []time.Duration, counts []uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Sum returns the running total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
 // Snapshot reduces the histogram to the standard SLO summary.
 func (h *Histogram) Snapshot() HistSnapshot {
 	return HistSnapshot{

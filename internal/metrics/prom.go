@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (text format version 0.0.4), hand-rolled
+// on the stdlib so the binaries stay dependency-free. A Prom accumulates
+// metric families in the order they are added — callers keep output
+// deterministic by adding families (and label permutations) in a fixed,
+// sorted order — and WriteTo renders the whole page at once.
+//
+// Histogram families follow the Prometheus convention exactly:
+// cumulative `<name>_bucket{le="..."}` series ending in le="+Inf", plus
+// `<name>_sum` (seconds) and `<name>_count`, with the +Inf bucket equal
+// to the count by construction (both derive from one per-bucket counts
+// snapshot, so the invariant holds even while writers race the scrape).
+
+// PromContentType is the Content-Type a /metrics handler should set.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" exposition label.
+type Label struct {
+	Name, Value string
+}
+
+// PromSample is one sample line within a family.
+type PromSample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Prom accumulates an exposition page.
+type Prom struct {
+	b strings.Builder
+}
+
+// Counter adds a counter family. Counter names should end in _total.
+func (p *Prom) Counter(name, help string, samples ...PromSample) {
+	p.family(name, "counter", help, samples)
+}
+
+// Gauge adds a gauge family.
+func (p *Prom) Gauge(name, help string, samples ...PromSample) {
+	p.family(name, "gauge", help, samples)
+}
+
+// HistogramSub is one labeled sub-histogram of a histogram family.
+type HistogramSub struct {
+	Labels []Label
+	H      *Histogram
+}
+
+// HistogramFamily adds one histogram family with one or more labeled
+// sub-histograms (e.g. one per endpoint) under a single HELP/TYPE
+// header, as the format requires. Durations are exposed in seconds (the
+// Prometheus base unit). For each sub, the +Inf bucket and _count derive
+// from the same per-bucket snapshot, so +Inf == _count holds exactly
+// even while writers race the scrape.
+func (p *Prom) HistogramFamily(name, help string, subs ...HistogramSub) {
+	p.header(name, "histogram", help)
+	for _, sub := range subs {
+		bounds, counts := sub.H.Buckets()
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = formatFloat(bounds[i].Seconds())
+			}
+			p.sample(name+"_bucket", append(append([]Label(nil), sub.Labels...), Label{"le", le}), float64(cum))
+		}
+		p.sample(name+"_sum", sub.Labels, sub.H.Sum().Seconds())
+		p.sample(name+"_count", sub.Labels, float64(cum))
+	}
+}
+
+func (p *Prom) family(name, typ, help string, samples []PromSample) {
+	p.header(name, typ, help)
+	for _, s := range samples {
+		p.sample(name, s.Labels, s.Value)
+	}
+}
+
+func (p *Prom) header(name, typ, help string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&p.b, "# TYPE %s %s\n", name, typ)
+}
+
+func (p *Prom) sample(name string, labels []Label, v float64) {
+	p.b.WriteString(name)
+	if len(labels) > 0 {
+		p.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				p.b.WriteByte(',')
+			}
+			fmt.Fprintf(&p.b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+		}
+		p.b.WriteByte('}')
+	}
+	p.b.WriteByte(' ')
+	p.b.WriteString(formatFloat(v))
+	p.b.WriteByte('\n')
+}
+
+// WriteTo renders the accumulated page.
+func (p *Prom) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, p.b.String())
+	return int64(n), err
+}
+
+// String returns the accumulated page (tests).
+func (p *Prom) String() string { return p.b.String() }
+
+// formatFloat renders a sample value: integers without an exponent,
+// everything else in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format. The
+// format defines exactly three escapes — backslash, double quote, and
+// newline — so this deliberately avoids %q, which would emit escapes
+// (\t, \xNN) the format does not define.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline only.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

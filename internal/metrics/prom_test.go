@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parsePage splits an exposition page into sample lines keyed by the
+// full series name (including the label block) and collects the HELP /
+// TYPE headers keyed by family name. It fails the test on any line that
+// is neither a comment nor `series value`.
+func parsePage(t *testing.T, page string) (samples map[string]float64, types map[string]string) {
+	t.Helper()
+	samples = make(map[string]float64)
+	types = make(map[string]string)
+	for _, line := range strings.Split(page, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		// Sample line: the value is everything after the last space
+		// OUTSIDE a label block (label values may contain spaces).
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		series, val := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		samples[series] = v
+	}
+	return samples, types
+}
+
+// TestPromPageShape pins the exposition basics: counters and gauges
+// render headers plus one line per sample, integers render without an
+// exponent, and labels are comma-joined inside one brace block.
+func TestPromPageShape(t *testing.T) {
+	var p Prom
+	p.Counter("occamy_widgets_total", "Widgets made.",
+		PromSample{Labels: []Label{{"kind", "a"}}, Value: 3},
+		PromSample{Labels: []Label{{"kind", "b"}}, Value: 0},
+	)
+	p.Gauge("occamy_depth", "Queue depth.", PromSample{Value: 17})
+	page := p.String()
+
+	samples, types := parsePage(t, page)
+	if types["occamy_widgets_total"] != "counter" || types["occamy_depth"] != "gauge" {
+		t.Fatalf("TYPE headers wrong: %v", types)
+	}
+	if samples[`occamy_widgets_total{kind="a"}`] != 3 {
+		t.Fatalf("labeled counter sample missing: %v", samples)
+	}
+	if samples[`occamy_widgets_total{kind="b"}`] != 0 {
+		t.Fatal("zero-valued sample must still be exposed")
+	}
+	if samples["occamy_depth"] != 17 {
+		t.Fatalf("bare gauge sample missing: %v", samples)
+	}
+	if strings.Contains(page, "e+") {
+		t.Fatalf("integer values must not use exponents:\n%s", page)
+	}
+}
+
+// TestPromHistogramFamily pins the histogram contract: buckets are
+// cumulative and monotone, the +Inf bucket equals _count exactly, _sum
+// is the observation total in seconds, and every sub keeps its labels.
+func TestPromHistogramFamily(t *testing.T) {
+	h := NewHistogram(time.Millisecond, time.Second)
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(i) * 20 * time.Millisecond) // spans into overflow
+	}
+	var p Prom
+	p.HistogramFamily("occamy_lat_seconds", "Latency.",
+		HistogramSub{Labels: []Label{{"endpoint", "POST /v1/runs"}}, H: h})
+	page := p.String()
+
+	var prev float64
+	var bucketLines, infSeen int
+	var infVal float64
+	for _, line := range strings.Split(page, "\n") {
+		if !strings.HasPrefix(line, "occamy_lat_seconds_bucket{") {
+			continue
+		}
+		bucketLines++
+		i := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("buckets must be cumulative (monotone non-decreasing): %q after %v", line, prev)
+		}
+		prev = v
+		if !strings.Contains(line, `endpoint="POST /v1/runs"`) {
+			t.Fatalf("sub labels dropped from bucket line %q", line)
+		}
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen++
+			infVal = v
+		}
+	}
+	if bucketLines == 0 {
+		t.Fatal("no bucket lines rendered")
+	}
+	if infSeen != 1 {
+		t.Fatalf("want exactly one +Inf bucket, got %d", infSeen)
+	}
+	samples, types := parsePage(t, page)
+	if types["occamy_lat_seconds"] != "histogram" {
+		t.Fatalf("TYPE = %q, want histogram", types["occamy_lat_seconds"])
+	}
+	count := samples[`occamy_lat_seconds_count{endpoint="POST /v1/runs"}`]
+	if count != 100 {
+		t.Fatalf("_count = %v, want 100", count)
+	}
+	if infVal != count {
+		t.Fatalf("+Inf bucket %v != _count %v", infVal, count)
+	}
+	wantSum := h.Sum().Seconds()
+	if sum := samples[`occamy_lat_seconds_sum{endpoint="POST /v1/runs"}`]; sum != wantSum {
+		t.Fatalf("_sum = %v, want %v", sum, wantSum)
+	}
+}
+
+// TestPromHistogramRacingWriters verifies +Inf == _count holds even
+// while Records race the render: both derive from one snapshot.
+func TestPromHistogramRacingWriters(t *testing.T) {
+	h := NewLatencyHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(3 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var p Prom
+		p.HistogramFamily("x_seconds", "x", HistogramSub{H: h})
+		samples, _ := parsePage(t, p.String())
+		if inf, count := samples[`x_seconds_bucket{le="+Inf"}`], samples["x_seconds_count"]; inf != count {
+			t.Fatalf("render %d: +Inf %v != _count %v under racing writers", i, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPromEscaping pins the three defined label escapes — and nothing
+// else (no %q-style \t or \xNN, which scrapers reject).
+func TestPromEscaping(t *testing.T) {
+	var p Prom
+	p.Gauge("g", "line one\nline two", PromSample{
+		Labels: []Label{{"v", "a\\b\"c\nd\te"}},
+		Value:  1,
+	})
+	page := p.String()
+	if !strings.Contains(page, `v="a\\b\"c\nd`+"\t"+`e"`) {
+		t.Fatalf("label escaping wrong:\n%s", page)
+	}
+	if !strings.Contains(page, `# HELP g line one\nline two`) {
+		t.Fatalf("help escaping wrong:\n%s", page)
+	}
+}

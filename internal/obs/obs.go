@@ -1,0 +1,50 @@
+// Package obs holds the binary-side observability plumbing shared by
+// occamy-served and occamy-router: the -log-level structured-logging
+// setup and the -pprof-addr profiling listener. It is deliberately
+// outside the deterministic core — wall clocks, environment, and
+// goroutines are all legal here.
+package obs
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+
+	// Blank import registers the /debug/pprof/* handlers on the default
+	// mux, which only the dedicated pprof listener below ever serves —
+	// the API muxes are custom, so profiling never leaks onto the
+	// public address.
+	_ "net/http/pprof"
+)
+
+// NewLogger builds a JSON slog logger on stderr at the given level
+// ("debug", "info", "warn", "error"; case-insensitive). An empty or
+// "off" level returns nil — the service/fleet configs treat nil as
+// discard-everything, so logging stays strictly opt-in.
+func NewLogger(level string) (*slog.Logger, error) {
+	if level == "" || level == "off" {
+		return nil, nil
+	}
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
+}
+
+// StartPprof serves net/http/pprof on its own listener when addr is
+// non-empty. Failures are logged, not fatal: a squatted debug port
+// must not take the service down with it.
+func StartPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("pprof listening on %s (/debug/pprof/)", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof listener: %v", err)
+		}
+	}()
+}

@@ -140,17 +140,7 @@ func Run(spec Spec) (*Result, error) {
 // internal/service uses it to abort running jobs without a way to
 // interrupt the discrete-event engine mid-chunk.
 func RunWithCancel(spec Spec, canceled func() bool) (*Result, error) {
-	if _, err := ParseScale(string(spec.Scale)); err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
-	}
-	spec = spec.ApplyScale().WithDefaults()
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	if spec.Raw() {
-		return runRaw(spec, canceled)
-	}
-	return runTransport(spec, canceled)
+	return RunWithProgress(spec, canceled, nil)
 }
 
 // MustRun is Run for specs known valid (registered catalog entries).
@@ -298,7 +288,7 @@ func startRounds(w Workload, horizon sim.Duration,
 }
 
 // runTransport executes a spec whose workloads ride the transport stack.
-func runTransport(spec Spec, canceled func() bool) (*Result, error) {
+func runTransport(spec Spec, canceled func() bool, progress ProgressFunc) (*Result, error) {
 	net, tickers := buildNetwork(spec)
 	res := &Result{
 		Spec:        spec,
@@ -466,6 +456,9 @@ func runTransport(spec Spec, canceled func() bool) (*Result, error) {
 		if canceled != nil && canceled() {
 			return nil, ErrCanceled
 		}
+		if progress != nil {
+			progress(RunProgress{SimNow: net.Eng.Now(), SimHorizon: horizon, Events: net.Eng.Processed()})
+		}
 		if gated != nil {
 			done := gated.done()
 			if done >= gateQueries {
@@ -504,12 +497,15 @@ func runTransport(spec Spec, canceled func() bool) (*Result, error) {
 		res.FaultLinks = net.Faults.Snapshot()
 	}
 	finishResult(res, net.Switches, recs, net.Eng)
+	if progress != nil {
+		progress(RunProgress{SimNow: net.Eng.Now(), SimHorizon: horizon, Events: net.Eng.Processed(), Final: true})
+	}
 	return res, nil
 }
 
 // runRaw executes a raw-injection spec: packets go straight into one
 // switch, no hosts, no transport.
-func runRaw(spec Spec, canceled func() bool) (*Result, error) {
+func runRaw(spec Spec, canceled func() bool, progress ProgressFunc) (*Result, error) {
 	t := spec.Topology
 	eng := sim.NewEngine()
 	policy, occ, _ := spec.Policy.Build(t.Classes)
@@ -571,6 +567,9 @@ func runRaw(spec Spec, canceled func() bool) (*Result, error) {
 		if canceled != nil && canceled() {
 			return nil, ErrCanceled
 		}
+		if progress != nil {
+			progress(RunProgress{SimNow: eng.Now(), SimHorizon: horizon, Events: eng.Processed()})
+		}
 		step := eng.Now() + sim.Time(5*sim.Millisecond)
 		if step > sim.Time(horizon) {
 			step = sim.Time(horizon)
@@ -587,6 +586,9 @@ func runRaw(spec Spec, canceled func() bool) (*Result, error) {
 		res.Workloads[i].SentBytes = injectors[i].Bytes
 	}
 	finishResult(res, []*switchsim.Switch{sw}, recs, eng)
+	if progress != nil {
+		progress(RunProgress{SimNow: eng.Now(), SimHorizon: horizon, Events: eng.Processed(), Final: true})
+	}
 	return res, nil
 }
 

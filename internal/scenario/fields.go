@@ -223,6 +223,17 @@ func RunSweep(base Spec, axes []SweepAxis) (*experiments.Table, error) {
 // and the whole sweep returns ErrCanceled. A nil canceled never
 // cancels.
 func RunSweepWithCancel(base Spec, axes []SweepAxis, canceled func() bool) (*experiments.Table, error) {
+	return RunSweepWithProgress(base, axes, canceled, nil)
+}
+
+// RunSweepWithProgress is RunSweepWithCancel with a per-point progress
+// hook: pointDone is invoked once after each grid point's simulation
+// completes. Points run concurrently under experiments.RunGrid, so
+// pointDone is called from worker goroutines and must be safe for
+// concurrent use (the service layer counts atomically; the fraction is
+// calls-so-far over the grid size the caller already knows). A nil
+// pointDone is ignored.
+func RunSweepWithProgress(base Spec, axes []SweepAxis, canceled func() bool, pointDone func()) (*experiments.Table, error) {
 	// The base spec is expanded as-is: defaults are derived inside Run
 	// per grid point, so a sweep over (say) topology.hosts recomputes the
 	// dependent defaults (incast fanout, ECN threshold) for every point
@@ -243,6 +254,9 @@ func RunSweepWithCancel(base Spec, axes []SweepAxis, canceled func() bool) (*exp
 		}
 		if err != nil {
 			panic(err) // validated above; a failure here is a builder bug
+		}
+		if pointDone != nil {
+			pointDone()
 		}
 		return r
 	})

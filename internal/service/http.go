@@ -39,8 +39,10 @@ import (
 const maxSpecBytes = 1 << 20
 
 // Handler returns the service's HTTP API. Every route is wrapped in a
-// latency-recording middleware feeding the per-endpoint histograms that
-// GET /v1/stats reports.
+// middleware that records handler latency into the per-endpoint
+// histograms GET /v1/stats and GET /metrics report, establishes the
+// X-Occamy-Trace ID (minting one when absent) and echoes it on the
+// response, and emits a debug-level structured request record.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, fn http.HandlerFunc) {
@@ -53,8 +55,15 @@ func (s *Service) Handler() http.Handler {
 		}
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
-			fn(w, r)
-			h.Record(time.Since(start))
+			trace := EnsureTrace(r)
+			w.Header().Set(TraceHeader, trace)
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			fn(sw, r)
+			d := time.Since(start)
+			h.Record(d)
+			s.logger.Debug("http",
+				"method", r.Method, "route", pattern, "status", sw.status,
+				"trace", trace, "dur_ms", durToMs(d))
 		})
 	}
 	handle("GET /v1/scenarios", s.handleScenarios)
@@ -68,7 +77,19 @@ func (s *Service) Handler() http.Handler {
 	handle("POST /v1/batch", s.handleBatch)
 	handle("GET /v1/cache", s.handleCache)
 	handle("GET /v1/stats", s.handleStats)
+	handle("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // httpError writes a JSON error body with the given status.
@@ -183,7 +204,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "%v", err)
 		return
 	}
-	st, err := s.Submit(spec)
+	st, err := s.SubmitTraced(spec, r.Header.Get(TraceHeader))
 	if err != nil {
 		httpError(w, submitStatus(w, err), "%v", err)
 		return
@@ -328,7 +349,7 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		axes[i] = ax
 	}
-	st, err := s.SubmitSweep(spec, axes)
+	st, err := s.SubmitSweepTraced(spec, axes, r.Header.Get(TraceHeader))
 	if err != nil {
 		// Capacity refusals are retryable (503; draining additionally
 		// carries Retry-After); everything else — including an over-cap
@@ -392,7 +413,10 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// One POST, many job IDs: each spec goes through the exact Submit
 	// path a lone POST /v1/runs takes (cache hit / coalesce / enqueue /
 	// refuse), and failures stay per-item so one bad spec doesn't void
-	// the rest of the batch.
+	// the rest of the batch. Each item's job gets a ".N" child of the
+	// batch trace, so the IDs stay distinct per spec yet grep back to
+	// the one submission.
+	trace := r.Header.Get(TraceHeader)
 	items := make([]BatchItem, len(req.Specs))
 	for i, raw := range req.Specs {
 		spec, err := scenario.ParseSpec(raw)
@@ -403,7 +427,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if req.Scale != "" {
 			spec.Scale = scale
 		}
-		st, err := s.Submit(spec)
+		st, err := s.SubmitTraced(spec, ChildTrace(trace, "", i))
 		if err != nil {
 			items[i] = BatchItem{Error: err.Error(), Code: batchCode(err)}
 			continue

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -59,14 +60,19 @@ type Job struct {
 	spec        scenario.Spec
 	axes        []scenario.SweepAxis // sweep jobs only
 	fingerprint string
+	trace       string // X-Occamy-Trace of the submission that created it
 	cached      bool
 	errMsg      string
 	result      []byte              // canonical JSON (ResultDoc or TableDoc)
 	doc         *scenario.ResultDoc // decoded result, run jobs only
 	cancel      atomic.Bool
-	submitted   time.Time
-	started     time.Time
-	finished    time.Time
+	// progress is the latest live-progress snapshot, published by the
+	// running worker at engine chunk boundaries and read lock-free by
+	// status polls (see progress.go). nil until the run first reports.
+	progress  atomic.Pointer[progressSample]
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
 }
 
 // JobStatus is the externally visible snapshot of a job.
@@ -76,11 +82,21 @@ type JobStatus struct {
 	State       JobState  `json:"state"`
 	Scenario    string    `json:"scenario"`
 	Fingerprint string    `json:"fingerprint"`
+	Trace       string    `json:"trace,omitempty"`
 	Cached      bool      `json:"cached"`
 	Error       string    `json:"error,omitempty"`
 	Submitted   time.Time `json:"submitted"`
 	Started     time.Time `json:"started,omitzero"`
 	Finished    time.Time `json:"finished,omitzero"`
+	// QueueWaitMs is submitted→started; RunMs is started→finished (for a
+	// running job, started→now). Rendered server-side so clients don't
+	// subtract timestamps. Absent until the job starts.
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	RunMs       float64 `json:"run_ms,omitempty"`
+	// Progress is the live-progress snapshot of a running (or finished)
+	// job; see progress.go for the schema. Absent before the first
+	// engine chunk reports.
+	Progress *Progress `json:"progress,omitempty"`
 }
 
 // Config sizes a Service.
@@ -104,6 +120,10 @@ type Config struct {
 	// CacheDir enables disk persistence when non-empty.
 	CacheBytes int64
 	CacheDir   string
+	// Logger receives structured job-lifecycle and request records
+	// (occamy-served wires a JSON handler behind -log-level). nil
+	// discards everything, so embedders and tests stay silent.
+	Logger *slog.Logger
 }
 
 // Service is the scenario-execution engine behind the HTTP API: a
@@ -133,6 +153,7 @@ type Service struct {
 	workers   int
 	started   time.Time
 	endpoints map[string]*metrics.Histogram
+	logger    *slog.Logger
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -152,6 +173,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxSweepPoints <= 0 {
 		cfg.MaxSweepPoints = 256
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -164,6 +188,7 @@ func New(cfg Config) (*Service, error) {
 		maxSweepPoints: cfg.MaxSweepPoints,
 		workers:        cfg.Workers,
 		started:        time.Now(),
+		logger:         cfg.Logger,
 		endpoints:      make(map[string]*metrics.Histogram, len(endpointPatterns)),
 		queue:          make(chan *Job, cfg.QueueDepth),
 	}
@@ -201,11 +226,31 @@ func (s *Service) Cache() *Cache { return s.cache }
 
 // status snapshots a job; the caller holds s.mu.
 func (j *Job) status() JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID: j.ID, Kind: j.Kind, State: j.state,
-		Scenario: j.spec.Name, Fingerprint: j.fingerprint, Cached: j.cached,
+		Scenario: j.spec.Name, Fingerprint: j.fingerprint, Trace: j.trace, Cached: j.cached,
 		Error: j.errMsg, Submitted: j.submitted, Started: j.started, Finished: j.finished,
 	}
+	if !j.started.IsZero() {
+		st.QueueWaitMs = durToMs(j.started.Sub(j.submitted))
+		switch {
+		case !j.finished.IsZero():
+			st.RunMs = durToMs(j.finished.Sub(j.started))
+		case j.state == JobRunning:
+			st.RunMs = durToMs(time.Since(j.started))
+		}
+	}
+	st.Progress = j.progressStatus()
+	return st
+}
+
+// durToMs renders a duration in milliseconds with µs precision, the
+// same shape the latency snapshots use.
+func durToMs(d time.Duration) float64 {
+	if d < 0 {
+		d = 0
+	}
+	return float64(d/time.Microsecond) / 1000
 }
 
 // Submit enqueues a validated spec for asynchronous execution and
@@ -214,6 +259,14 @@ func (j *Job) status() JobStatus {
 // memoized result; an identical spec already queued or running
 // coalesces onto that job; a full queue is refused with an error.
 func (s *Service) Submit(spec scenario.Spec) (JobStatus, error) {
+	return s.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit with a request trace ID to stamp on the job
+// (see trace.go for the header contract). Coalesced submissions keep
+// the first submitter's trace — the job is that submission's work; a
+// later joiner learns the original ID from the returned status.
+func (s *Service) SubmitTraced(spec scenario.Spec, trace string) (JobStatus, error) {
 	fp, err := spec.Fingerprint()
 	if err != nil {
 		return JobStatus{}, err
@@ -231,11 +284,12 @@ func (s *Service) Submit(spec scenario.Spec) (JobStatus, error) {
 	s.counters.Submitted++
 	if cached != nil {
 		s.counters.CacheHits++
-		j := s.newJobLocked("run", spec, fp)
+		j := s.newJobLocked("run", spec, fp, trace)
 		j.state = JobDone
 		j.cached = true
 		j.result = cached
 		j.finished = j.submitted
+		s.logJob(j, "cache hit")
 		return j.status(), nil
 	}
 	// Coalesce onto an identical in-flight job — unless it has been
@@ -243,12 +297,14 @@ func (s *Service) Submit(spec scenario.Spec) (JobStatus, error) {
 	// deserves a real run).
 	if active, ok := s.inflight[fp]; ok && !active.cancel.Load() {
 		s.counters.Coalesced++
+		s.logJob(active, "coalesced", "trace_joined", trace)
 		return active.status(), nil
 	}
-	j := s.newJobLocked("run", spec, fp)
+	j := s.newJobLocked("run", spec, fp, trace)
 	if err := s.enqueueLocked(j); err != nil {
 		return JobStatus{}, err
 	}
+	s.logJob(j, "enqueued")
 	return j.status(), nil
 }
 
@@ -258,6 +314,12 @@ func (s *Service) Submit(spec scenario.Spec) (JobStatus, error) {
 // by base-spec fingerprint plus the axes — so repeating a grid is a
 // cache hit like repeating a run.
 func (s *Service) SubmitSweep(spec scenario.Spec, axes []scenario.SweepAxis) (JobStatus, error) {
+	return s.SubmitSweepTraced(spec, axes, "")
+}
+
+// SubmitSweepTraced is SubmitSweep with a request trace ID to stamp on
+// the job (see SubmitTraced).
+func (s *Service) SubmitSweepTraced(spec scenario.Spec, axes []scenario.SweepAxis, trace string) (JobStatus, error) {
 	// Refuse sweep bombs before expanding anything: the grid size is the
 	// exact product of the axis value counts, so an oversize request is
 	// rejected in O(axes) — one POST with three 1000-value axes must not
@@ -301,22 +363,25 @@ func (s *Service) SubmitSweep(spec scenario.Spec, axes []scenario.SweepAxis) (Jo
 	s.counters.Submitted++
 	if cached != nil {
 		s.counters.CacheHits++
-		j := s.newJobLocked("sweep", spec, fp)
+		j := s.newJobLocked("sweep", spec, fp, trace)
 		j.state = JobDone
 		j.cached = true
 		j.result = cached
 		j.finished = j.submitted
+		s.logJob(j, "cache hit")
 		return j.status(), nil
 	}
 	if active, ok := s.inflight[fp]; ok && !active.cancel.Load() {
 		s.counters.Coalesced++
+		s.logJob(active, "coalesced", "trace_joined", trace)
 		return active.status(), nil
 	}
-	j := s.newJobLocked("sweep", spec, fp)
+	j := s.newJobLocked("sweep", spec, fp, trace)
 	j.axes = axes
 	if err := s.enqueueLocked(j); err != nil {
 		return JobStatus{}, err
 	}
+	s.logJob(j, "enqueued")
 	return j.status(), nil
 }
 
@@ -343,7 +408,7 @@ func SweepFingerprint(spec scenario.Spec, axes []scenario.SweepAxis) (string, er
 
 // newJobLocked registers a fresh job, pruning the oldest terminal jobs
 // past the ledger bound; the caller holds s.mu.
-func (s *Service) newJobLocked(kind string, spec scenario.Spec, fp string) *Job {
+func (s *Service) newJobLocked(kind string, spec scenario.Spec, fp, trace string) *Job {
 	s.seq++
 	j := &Job{
 		ID:          fmt.Sprintf("r%d", s.seq),
@@ -351,6 +416,7 @@ func (s *Service) newJobLocked(kind string, spec scenario.Spec, fp string) *Job 
 		state:       JobQueued,
 		spec:        spec,
 		fingerprint: fp,
+		trace:       trace,
 		submitted:   time.Now().UTC(),
 	}
 	s.jobs[j.ID] = j
@@ -392,6 +458,7 @@ func (s *Service) enqueueLocked(j *Job) error {
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
 		s.counters.Refused++
+		s.logJob(j, "refused", "queue_cap", cap(s.queue))
 		return fmt.Errorf("%w (%d queued)", ErrQueueFull, cap(s.queue))
 	}
 }
@@ -513,6 +580,28 @@ func (s *Service) finishLocked(j *Job, state JobState, result []byte, errMsg str
 	if wasRunning {
 		s.busyNanos += j.finished.Sub(j.started).Nanoseconds()
 	}
+	attrs := []any{"queue_wait_ms", durToMs(j.started.Sub(j.submitted)), "run_ms", durToMs(j.finished.Sub(j.started))}
+	if !wasRunning {
+		attrs = nil // canceled straight out of the queue: no durations to report
+	}
+	if errMsg != "" {
+		attrs = append(attrs, "error", errMsg)
+	}
+	s.logJob(j, string(state), attrs...)
+}
+
+// logJob emits one structured job-lifecycle record; the caller holds
+// s.mu (slog handlers are safe there, and job transitions are rare
+// relative to the lock's request traffic).
+func (s *Service) logJob(j *Job, event string, attrs ...any) {
+	if !s.logger.Enabled(nil, slog.LevelInfo) {
+		return
+	}
+	base := []any{"job", j.ID, "kind", j.Kind, "scenario", j.spec.Name, "state", string(j.state)}
+	if j.trace != "" {
+		base = append(base, "trace", j.trace)
+	}
+	s.logger.Info(event, append(base, attrs...)...)
 }
 
 // worker drains the queue until Close.
@@ -540,14 +629,15 @@ func (s *Service) runJob(j *Job) {
 	j.state = JobRunning
 	j.started = time.Now().UTC()
 	spec, axes := j.spec, j.axes
+	s.logJob(j, "started", "queue_wait_ms", durToMs(j.started.Sub(j.submitted)))
 	s.mu.Unlock()
 
 	var data []byte
 	var err error
 	if j.Kind == "sweep" {
-		data, err = runSweepJob(spec, axes, &j.cancel)
+		data, err = runSweepJob(j, spec, axes)
 	} else {
-		data, err = runJobOnce(spec, &j.cancel)
+		data, err = runJobOnce(j, spec)
 	}
 
 	if err == nil {
@@ -568,8 +658,11 @@ func (s *Service) runJob(j *Job) {
 }
 
 // runJobOnce executes a single spec and encodes the canonical document.
-func runJobOnce(spec scenario.Spec, cancel *atomic.Bool) ([]byte, error) {
-	res, err := scenario.RunWithCancel(spec, cancel.Load)
+// The progress hook fires at engine chunk boundaries, outside the
+// deterministic core, and publishes onto the job's atomic snapshot
+// (progress.go) — the wall clock is read here, never inside scenario.
+func runJobOnce(j *Job, spec scenario.Spec) ([]byte, error) {
+	res, err := scenario.RunWithProgress(spec, j.cancel.Load, j.runProgressFunc())
 	if err != nil {
 		return nil, err
 	}
@@ -579,9 +672,11 @@ func runJobOnce(spec scenario.Spec, cancel *atomic.Bool) ([]byte, error) {
 // runSweepJob executes a grid and encodes its summary table. The grid
 // fans out through experiments.RunGrid inside RunSweep, so one sweep
 // job saturates the machine the same way the CLI -j path does; the
-// cancel flag reaches every grid point's engine loop.
-func runSweepJob(spec scenario.Spec, axes []scenario.SweepAxis, cancel *atomic.Bool) ([]byte, error) {
-	tab, err := scenario.RunSweepWithCancel(spec, axes, cancel.Load)
+// cancel flag reaches every grid point's engine loop. Sweep progress is
+// point-granular: the pointDone hook fires concurrently from grid
+// workers, so it must be (and is) atomic.
+func runSweepJob(j *Job, spec scenario.Spec, axes []scenario.SweepAxis) ([]byte, error) {
+	tab, err := scenario.RunSweepWithProgress(spec, axes, j.cancel.Load, j.sweepProgressFunc(gridPoints(axes)))
 	if err != nil {
 		return nil, err
 	}

@@ -78,6 +78,7 @@ var endpointPatterns = []string{
 	"POST /v1/batch",
 	"GET /v1/cache",
 	"GET /v1/stats",
+	"GET /metrics",
 }
 
 // Stats snapshots the service's observability state.

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+)
+
+// X-Occamy-Trace propagation
+//
+// One trace ID follows a request through the stack: the first tier to
+// see a request without the header mints an ID, every response echoes
+// it, and asynchronous work it creates (jobs, fan-out sub-requests)
+// carries it — the fleet router appends ".N" child suffixes per sweep
+// grid point and ".w<shard>" per batch sub-batch, so a sweep can be
+// followed from router submission through every shard's job ledger to
+// reassembly with a single grep.
+
+// TraceHeader is the propagation header.
+const TraceHeader = "X-Occamy-Trace"
+
+// maxTraceLen bounds an accepted trace ID; minted roots are 16 hex
+// chars and each fan-out hop appends a short suffix, so a conforming ID
+// stays far under this. Oversize or malformed inbound values are
+// replaced with a fresh root rather than rejected — tracing is
+// observability, not validation, and must never fail a request.
+const maxTraceLen = 128
+
+// EnsureTrace returns the request's trace ID, minting a fresh one if
+// the header is absent or malformed, and stamps the result back onto
+// the request headers so downstream handler code reads one canonical
+// value. The response echo is the caller's job (the Handler middleware
+// sets it on every instrumented route).
+func EnsureTrace(r *http.Request) string {
+	t := r.Header.Get(TraceHeader)
+	if !validTrace(t) {
+		t = MintTrace()
+		r.Header.Set(TraceHeader, t)
+	}
+	return t
+}
+
+// MintTrace generates a fresh root trace ID: 8 random bytes, hex.
+func MintTrace() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID beats
+		// a panic on a pure-observability path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ChildTrace derives the n-th fan-out child of a trace ID ("abc" →
+// "abc.3"); kind distinguishes sibling namespaces (sweep grid points
+// use "", batch shard groups "w").
+func ChildTrace(trace, kind string, n int) string {
+	return trace + "." + kind + strconv.Itoa(n)
+}
+
+// validTrace accepts IDs built from the minted alphabet plus the
+// fan-out separators: alphanumerics, '.', '_', '-'.
+func validTrace(t string) bool {
+	if t == "" || len(t) > maxTraceLen {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -378,6 +378,20 @@ const (
 // RunScenario assembles and executes one declarative scenario.
 func RunScenario(spec ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(spec) }
 
+// ScenarioProgress is one live-progress sample of a scenario run: the
+// virtual clock, the nominal horizon, and the cumulative processed-event
+// count, published at every engine chunk boundary. Deterministic by
+// construction — wall clocks and rates are the caller's to add.
+type ScenarioProgress = scenario.RunProgress
+
+// RunScenarioWithProgress is RunScenario with a cooperative cancel
+// check and a progress hook; either may be nil. The canceled func is
+// polled between engine chunks; progress receives a sample at the same
+// seam and once more (Final set) on completion.
+func RunScenarioWithProgress(spec ScenarioSpec, canceled func() bool, progress func(ScenarioProgress)) (*ScenarioResult, error) {
+	return scenario.RunWithProgress(spec, canceled, progress)
+}
+
 // LoadScenarioSpec reads and strictly validates a JSON spec file
 // (unknown fields are rejected). Specs are data: save one with
 // ScenarioSpec.Save, share the file, run it anywhere.
